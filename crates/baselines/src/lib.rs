@@ -1,0 +1,40 @@
+//! Baselines for the inGRASS reproduction: the GRASS-style from-scratch
+//! spectral sparsifier and the Random selection baseline.
+//!
+//! inGRASS's evaluation compares three ways of maintaining a sparsifier
+//! under edge insertions (paper Table II):
+//!
+//! * **GRASS** — re-run spectral sparsification from scratch on the updated
+//!   graph ([`GrassSparsifier`]);
+//! * **inGRASS** — incremental updates (the `ingrass` core crate);
+//! * **Random** — include random new edges until the condition-number
+//!   target is met ([`RandomSparsifier`], [`random_update_to_condition`]).
+//!
+//! The GRASS recipe follows the published line of work \[5\], \[7\], \[8\]: build
+//! a low-stretch-flavoured spanning tree, rank every off-tree edge by its
+//! spectral distortion `w(e)·R_T(e)` (paper Lemma 3.2), and recover the
+//! highest-distortion edges until a density or condition-number target is
+//! reached.
+//!
+//! # Example
+//!
+//! ```
+//! use ingrass_baselines::{GrassSparsifier, GrassConfig};
+//! use ingrass_gen::{grid_2d, WeightModel};
+//!
+//! let g = grid_2d(12, 12, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 1);
+//! let out = GrassSparsifier::new(GrassConfig::default())
+//!     .by_offtree_density(&g, 0.10)
+//!     .unwrap();
+//! // Spanning tree plus 10 % of the off-tree edges.
+//! assert_eq!(out.tree_edges, g.num_nodes() - 1);
+//! assert!(out.graph.num_edges() > out.tree_edges);
+//! ```
+
+#![deny(missing_docs)]
+
+mod grass;
+mod random;
+
+pub use grass::{GrassConfig, GrassSparsifier, SelectionPolicy, SparsifierOutput, TreeKind};
+pub use random::{random_update_to_condition, RandomSparsifier, RandomUpdateOutcome};

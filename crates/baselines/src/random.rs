@@ -1,0 +1,204 @@
+//! The Random baseline: uniform edge selection.
+
+use crate::grass::SparsifierOutput;
+use ingrass_graph::{kruskal_tree, DynGraph, Graph, GraphError, NodeId, TreeObjective};
+use ingrass_metrics::{estimate_condition_number, ConditionOptions, MetricsError};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random off-tree edge selection — the "Random" column of paper Table II.
+///
+/// A spanning tree keeps the result connected (random selection without a
+/// backbone would disconnect the graph at low densities and make
+/// `κ` undefined); beyond that, edges are chosen uniformly at random with
+/// no spectral guidance.
+#[derive(Debug, Clone)]
+pub struct RandomSparsifier {
+    seed: u64,
+}
+
+impl RandomSparsifier {
+    /// Creates the baseline with an RNG seed.
+    pub fn new(seed: u64) -> Self {
+        RandomSparsifier { seed }
+    }
+
+    /// Keeps a random `density` (0–1) fraction of the off-tree edges on top
+    /// of a max-weight spanning tree.
+    ///
+    /// # Errors
+    /// [`GraphError::Empty`] / [`GraphError::Disconnected`] if no spanning
+    /// tree exists.
+    pub fn by_offtree_density(
+        &self,
+        g: &Graph,
+        density: f64,
+    ) -> Result<SparsifierOutput, GraphError> {
+        let tree = kruskal_tree(g, TreeObjective::MaxWeight)?;
+        let mut off: Vec<usize> = (0..g.num_edges())
+            .filter(|&e| !tree.in_tree[e])
+            .collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Fisher–Yates prefix shuffle.
+        for i in (1..off.len()).rev() {
+            let j = rng.random_range(0..=i);
+            off.swap(i, j);
+        }
+        let keep = ((off.len() as f64) * density.clamp(0.0, 1.0)).round() as usize;
+        let mut mask = tree.in_tree.clone();
+        for &e in off.iter().take(keep) {
+            mask[e] = true;
+        }
+        Ok(SparsifierOutput {
+            graph: g.edge_subgraph(&mask),
+            in_sparsifier: mask,
+            tree_edges: g.num_nodes() - 1,
+            offtree_added: keep,
+            kappa: None,
+        })
+    }
+}
+
+/// Outcome of [`random_update_to_condition`].
+#[derive(Debug, Clone)]
+pub struct RandomUpdateOutcome {
+    /// The updated sparsifier.
+    pub sparsifier: Graph,
+    /// How many of the new edges were included.
+    pub included: usize,
+    /// Condition number at termination.
+    pub kappa: f64,
+}
+
+/// The Random *update* policy of Table II: shuffle the newly inserted
+/// edges, add them to the sparsifier in batches (10 % of the batch at a
+/// time), and stop as soon as `κ(L_G, L_H) ≤ target` or the edges run out.
+///
+/// `g_updated` must already contain the new edges (they are part of the
+/// updated original graph).
+///
+/// # Errors
+/// Propagates estimator failures ([`MetricsError`]) and invalid edge
+/// insertions ([`MetricsError::Linalg`] with the graph error message).
+pub fn random_update_to_condition(
+    g_updated: &Graph,
+    h_current: &Graph,
+    new_edges: &[(usize, usize, f64)],
+    target_kappa: f64,
+    cond_opts: &ConditionOptions,
+    seed: u64,
+) -> Result<RandomUpdateOutcome, MetricsError> {
+    let mut h = DynGraph::from_graph(h_current);
+    let mut order: Vec<usize> = (0..new_edges.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let batch = (new_edges.len() / 10).max(1);
+    let mut included = 0usize;
+    loop {
+        let snapshot = h.to_graph();
+        let est = estimate_condition_number(g_updated, &snapshot, cond_opts)?;
+        if est.kappa <= target_kappa || included >= new_edges.len() {
+            return Ok(RandomUpdateOutcome {
+                sparsifier: snapshot,
+                included,
+                kappa: est.kappa,
+            });
+        }
+        let take = batch.min(new_edges.len() - included);
+        for &idx in &order[included..included + take] {
+            let (u, v, w) = new_edges[idx];
+            h.add_edge(NodeId::new(u), NodeId::new(v), w)
+                .map_err(|e| MetricsError::Linalg(e.to_string()))?;
+        }
+        included += take;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ingrass_gen::{grid_2d, InsertionStream, StreamConfig, WeightModel};
+    use ingrass_graph::GraphBuilder;
+
+    #[test]
+    fn random_density_selection_is_seeded_and_sized() {
+        let g = grid_2d(12, 12, WeightModel::Unit, 3);
+        let a = RandomSparsifier::new(5).by_offtree_density(&g, 0.2).unwrap();
+        let b = RandomSparsifier::new(5).by_offtree_density(&g, 0.2).unwrap();
+        assert_eq!(a.in_sparsifier, b.in_sparsifier);
+        let c = RandomSparsifier::new(6).by_offtree_density(&g, 0.2).unwrap();
+        assert_ne!(a.in_sparsifier, c.in_sparsifier);
+        let off_total = g.num_edges() - (g.num_nodes() - 1);
+        assert_eq!(a.offtree_added, ((off_total as f64) * 0.2).round() as usize);
+    }
+
+    #[test]
+    fn random_update_reaches_loose_target() {
+        let g = grid_2d(10, 10, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 1);
+        let h0 = RandomSparsifier::new(1).by_offtree_density(&g, 0.1).unwrap();
+        // Insert a stream of new edges into G.
+        let stream = InsertionStream::generate(
+            &g,
+            &StreamConfig {
+                batches: 1,
+                edges_per_batch: 40,
+                ..Default::default()
+            },
+        );
+        let new_edges = &stream.batches()[0];
+        let mut gb = GraphBuilder::with_capacity(g.num_nodes(), g.num_edges() + new_edges.len());
+        for e in g.edges() {
+            gb.add_edge(e.u.index(), e.v.index(), e.weight).unwrap();
+        }
+        for &(u, v, w) in new_edges {
+            gb.add_edge(u, v, w).unwrap();
+        }
+        let g_updated = gb.build();
+        let opts = ConditionOptions::default();
+        // Loose target: the κ of H0 against the updated graph, i.e. stop
+        // quickly; a tight target forces inclusion.
+        let k_now = estimate_condition_number(&g_updated, &h0.graph, &opts)
+            .unwrap()
+            .kappa;
+        let out = random_update_to_condition(&g_updated, &h0.graph, new_edges, k_now * 1.1, &opts, 9)
+            .unwrap();
+        assert!(out.included <= new_edges.len());
+        assert!(out.kappa <= k_now * 1.1 + 1e-9 || out.included == new_edges.len());
+    }
+
+    #[test]
+    fn random_update_includes_everything_for_impossible_target() {
+        let g = grid_2d(8, 8, WeightModel::Unit, 2);
+        let h0 = RandomSparsifier::new(2).by_offtree_density(&g, 0.1).unwrap();
+        let stream = InsertionStream::generate(
+            &g,
+            &StreamConfig {
+                batches: 1,
+                edges_per_batch: 10,
+                ..Default::default()
+            },
+        );
+        let new_edges = &stream.batches()[0];
+        let mut gb = GraphBuilder::new(g.num_nodes());
+        for e in g.edges() {
+            gb.add_edge(e.u.index(), e.v.index(), e.weight).unwrap();
+        }
+        for &(u, v, w) in new_edges {
+            gb.add_edge(u, v, w).unwrap();
+        }
+        let g_updated = gb.build();
+        let out = random_update_to_condition(
+            &g_updated,
+            &h0.graph,
+            new_edges,
+            1.0, // unreachable: H ⊂ G strictly
+            &ConditionOptions::fast(),
+            11,
+        )
+        .unwrap();
+        assert_eq!(out.included, new_edges.len());
+    }
+}

@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the workload generators (the substrate that
+//! stands in for the SuiteSparse matrices).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ingrass_gen::{
+    delaunay, power_grid, sphere_mesh, DelaunayConfig, PowerGridConfig, SphereConfig,
+};
+
+fn bench_delaunay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delaunay_triangulation");
+    group.sample_size(10);
+    for points in [1000usize, 4000, 16000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(points),
+            &points,
+            |b, &points| {
+                b.iter(|| {
+                    delaunay(&DelaunayConfig {
+                        points,
+                        seed: 1,
+                        ..Default::default()
+                    })
+                    .expect("delaunay")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_power_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power_grid");
+    group.sample_size(10);
+    for side in [64usize, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
+            b.iter(|| {
+                power_grid(&PowerGridConfig {
+                    width: side,
+                    height: side,
+                    ..Default::default()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sphere(c: &mut Criterion) {
+    c.bench_function("sphere_mesh_40x80", |b| {
+        b.iter(|| sphere_mesh(&SphereConfig::default()))
+    });
+}
+
+criterion_group!(benches, bench_delaunay, bench_power_grid, bench_sphere);
+criterion_main!(benches);

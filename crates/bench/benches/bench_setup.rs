@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the inGRASS setup phase (paper Table I's
+//! "Setup" column at micro scale): resistance embedding + LRD decomposition
+//! + connectivity indexing, per suite family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ingrass::{InGrassEngine, SetupConfig};
+use ingrass_baselines::GrassSparsifier;
+use ingrass_gen::TestCase;
+
+fn bench_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setup_phase");
+    group.sample_size(10);
+    for case in [
+        TestCase::G2Circuit,
+        TestCase::DelaunayN18,
+        TestCase::FeSphere,
+        TestCase::FeOcean,
+    ] {
+        let g0 = case.build(0.002, 7);
+        let h0 = GrassSparsifier::default()
+            .by_offtree_density(&g0, 0.10)
+            .expect("sparsify")
+            .graph;
+        group.bench_with_input(
+            BenchmarkId::new("full_setup", case.name()),
+            &h0,
+            |b, h0| {
+                b.iter(|| InGrassEngine::setup(h0, &SetupConfig::default()).expect("setup"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_setup_scaling(c: &mut Criterion) {
+    // Near-linear scaling check: setup time across 4× node growth.
+    let mut group = c.benchmark_group("setup_scaling_delaunay");
+    group.sample_size(10);
+    for scale_num in [1usize, 2, 4] {
+        let scale = 0.001 * scale_num as f64;
+        let g0 = TestCase::DelaunayN20.build(scale, 3);
+        let h0 = GrassSparsifier::default()
+            .by_offtree_density(&g0, 0.10)
+            .expect("sparsify")
+            .graph;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(g0.num_nodes()),
+            &h0,
+            |b, h0| {
+                b.iter(|| InGrassEngine::setup(h0, &SetupConfig::default()).expect("setup"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_setup, bench_setup_scaling);
+criterion_main!(benches);

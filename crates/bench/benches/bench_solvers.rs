@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the linear-algebra substrate: tree-solver vs
+//! Jacobi preconditioning, raw tree solves, and pencil Lanczos (the
+//! condition-number estimator's inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ingrass_gen::{grid_2d, WeightModel};
+use ingrass_graph::{kruskal_tree, TreeLaplacianSolver, TreeObjective, TreePrecond};
+use ingrass_linalg::{pcg, CgOptions, JacobiPrecond};
+use ingrass_metrics::{estimate_condition_number, ConditionOptions};
+
+fn bench_pcg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pcg_grid_2500");
+    group.sample_size(20);
+    let g = grid_2d(50, 50, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 9);
+    let n = g.num_nodes();
+    let l = g.laplacian();
+    let tree = kruskal_tree(&g, TreeObjective::MaxWeight).expect("tree");
+    let mut b_vec: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+    let mean = b_vec.iter().sum::<f64>() / n as f64;
+    b_vec.iter_mut().for_each(|v| *v -= mean);
+    let ones = vec![1.0; n];
+    let opts = CgOptions::default().with_rel_tol(1e-8);
+
+    let jacobi = JacobiPrecond::from_matrix(&l);
+    group.bench_function("jacobi_precond", |b| {
+        b.iter(|| {
+            let mut x = vec![0.0; n];
+            pcg(&l, &b_vec, &mut x, &jacobi, Some(&ones), &opts)
+        })
+    });
+    let tp = TreePrecond::new(&tree.tree);
+    group.bench_function("tree_precond", |b| {
+        b.iter(|| {
+            let mut x = vec![0.0; n];
+            pcg(&l, &b_vec, &mut x, &tp, Some(&ones), &opts)
+        })
+    });
+    group.finish();
+}
+
+fn bench_tree_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_laplacian_solve");
+    for side in [32usize, 64, 128] {
+        let g = grid_2d(side, side, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 2);
+        let tree = kruskal_tree(&g, TreeObjective::MaxWeight).expect("tree");
+        let solver = TreeLaplacianSolver::new(&tree.tree);
+        let n = g.num_nodes();
+        let mut b_vec: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let mean = b_vec.iter().sum::<f64>() / n as f64;
+        b_vec.iter_mut().for_each(|v| *v -= mean);
+        group.bench_function(format!("n_{}", n), |b| {
+            let mut x = vec![0.0; n];
+            b.iter(|| solver.solve_into(&b_vec, &mut x))
+        });
+    }
+    group.finish();
+}
+
+fn bench_condition_number(c: &mut Criterion) {
+    let mut group = c.benchmark_group("condition_number_estimate");
+    group.sample_size(10);
+    let g = grid_2d(40, 40, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 5);
+    let h = ingrass_baselines::GrassSparsifier::default()
+        .by_offtree_density(&g, 0.10)
+        .expect("sparsify")
+        .graph;
+    group.bench_function("default_opts", |b| {
+        b.iter(|| estimate_condition_number(&g, &h, &ConditionOptions::default()).expect("est"))
+    });
+    group.bench_function("fast_opts", |b| {
+        b.iter(|| estimate_condition_number(&g, &h, &ConditionOptions::fast()).expect("est"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pcg, bench_tree_solve, bench_condition_number);
+criterion_main!(benches);

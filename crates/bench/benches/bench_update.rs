@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks of the inGRASS update phase — the paper's
+//! headline O(log N)-per-edge claim (Fig. 4 at micro scale).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use ingrass::{InGrassEngine, SetupConfig, UpdateConfig};
+use ingrass_baselines::GrassSparsifier;
+use ingrass_gen::{InsertionStream, StreamConfig, TestCase};
+
+fn bench_update_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_batch_100_edges");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(100));
+    for case in [TestCase::G2Circuit, TestCase::DelaunayN18] {
+        let g0 = case.build(0.004, 11);
+        let h0 = GrassSparsifier::default()
+            .by_offtree_density(&g0, 0.10)
+            .expect("sparsify")
+            .graph;
+        let stream = InsertionStream::generate(
+            &g0,
+            &StreamConfig {
+                batches: 1,
+                edges_per_batch: 100,
+                ..Default::default()
+            },
+        );
+        let batch = stream.batches()[0].clone();
+        let cfg = UpdateConfig::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(case.name()),
+            &batch,
+            |b, batch| {
+                b.iter_batched(
+                    || InGrassEngine::setup(&h0, &SetupConfig::default()).expect("setup"),
+                    |mut e| e.insert_batch(batch, &cfg).expect("update"),
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_per_edge_scaling(c: &mut Criterion) {
+    // O(log N) per edge: per-edge update cost across a 16× size sweep
+    // should grow far slower than linearly.
+    let mut group = c.benchmark_group("update_per_edge_scaling");
+    group.sample_size(10);
+    for scale_num in [1usize, 4, 16] {
+        let g0 = TestCase::DelaunayN20.build(0.0005 * scale_num as f64, 5);
+        let h0 = GrassSparsifier::default()
+            .by_offtree_density(&g0, 0.10)
+            .expect("sparsify")
+            .graph;
+        let stream = InsertionStream::generate(
+            &g0,
+            &StreamConfig {
+                batches: 1,
+                edges_per_batch: 200,
+                ..Default::default()
+            },
+        );
+        let batch = stream.batches()[0].clone();
+        let cfg = UpdateConfig::default();
+        group.throughput(Throughput::Elements(batch.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(g0.num_nodes()),
+            &batch,
+            |b, batch| {
+                b.iter_batched(
+                    || InGrassEngine::setup(&h0, &SetupConfig::default()).expect("setup"),
+                    |mut e| e.insert_batch(batch, &cfg).expect("update"),
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_batch, bench_per_edge_scaling);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Diagnostic: per-phase timing of the inGRASS setup (resistance embedding
+//! vs LRD decomposition vs connectivity indexing) on two large suite cases.
+//!
+//! `cargo run -p ingrass-bench --release --example profile_setup`
+
+use ingrass::{InGrassEngine, SetupConfig};
+use ingrass_baselines::GrassSparsifier;
+use ingrass_gen::TestCase;
+
+fn main() {
+    for case in [TestCase::DelaunayN22, TestCase::As365] {
+        let g0 = case.build(0.005, 42);
+        let h0 = GrassSparsifier::default()
+            .by_offtree_density(&g0, 0.10)
+            .expect("sparsify")
+            .graph;
+        let e = InGrassEngine::setup(&h0, &SetupConfig::default()).expect("setup");
+        let r = e.setup_report();
+        println!(
+            "{}: total {:?} = resistance {:?} + lrd {:?} + connectivity {:?} ({} levels)",
+            case.name(),
+            r.total_time,
+            r.resistance_time,
+            r.lrd_time,
+            r.connectivity_time,
+            r.levels
+        );
+    }
+}

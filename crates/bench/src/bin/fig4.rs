@@ -1,0 +1,68 @@
+//! Reproduces paper **Fig. 4**: runtime scalability of GRASS (10 re-runs)
+//! vs inGRASS (10 updates) vs inGRASS + its one-time setup, across graph
+//! sizes. Emits the three series as CSV for log-scale plotting.
+//!
+//! `cargo run -p ingrass-bench --release --bin fig4 [--scale f]`
+
+use ingrass_bench::{fmt_secs, run_case, write_csv, HarnessOptions};
+use ingrass_gen::TestCase;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    // The five delaunay cases form a natural 16× size sweep; the remaining
+    // cases fill in the spread like the paper's x-axis.
+    let cases = if opts.cases.len() == ingrass_gen::paper_suite().len() {
+        vec![
+            TestCase::Fe4elt2,
+            TestCase::FeSphere,
+            TestCase::G2Circuit,
+            TestCase::FeOcean,
+            TestCase::DelaunayN18,
+            TestCase::DelaunayN19,
+            TestCase::DelaunayN20,
+            TestCase::Naca15,
+            TestCase::G3Circuit,
+            TestCase::DelaunayN21,
+            TestCase::M6,
+            TestCase::DelaunayN22,
+        ]
+    } else {
+        opts.cases.clone()
+    };
+    println!(
+        "Fig. 4 — runtime scalability (scale {:.4}; log-plot the CSV series)",
+        opts.scale
+    );
+    println!(
+        "{:<14} {:>9} {:>12} {:>12} {:>14} {:>9}",
+        "case", "|V|", "GRASS-T", "inGRASS-T", "inGRASS+setup", "speedup"
+    );
+    let mut csv = Vec::new();
+    for case in cases {
+        let g0 = case.build(opts.scale, opts.seed);
+        let r = run_case(case, &g0, &opts);
+        println!(
+            "{:<14} {:>9} {:>12} {:>12} {:>14} {:>8.0}×",
+            case.name(),
+            r.nodes,
+            fmt_secs(r.grass_time),
+            fmt_secs(r.ingrass_time),
+            fmt_secs(r.ingrass_time + r.ingrass_setup_time),
+            r.speedup(),
+        );
+        csv.push(format!(
+            "{},{},{:.6},{:.6},{:.6},{:.2}",
+            case.name(),
+            r.nodes,
+            r.grass_time,
+            r.ingrass_time,
+            r.ingrass_time + r.ingrass_setup_time,
+            r.speedup(),
+        ));
+    }
+    write_csv(
+        "fig4.csv",
+        "case,nodes,grass_t,ingrass_t,ingrass_t_plus_setup,speedup",
+        &csv,
+    );
+}

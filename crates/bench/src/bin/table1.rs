@@ -1,0 +1,66 @@
+//! Reproduces paper **Table I**: GRASS from-scratch sparsification time vs
+//! the inGRASS setup time, per suite case.
+//!
+//! `cargo run -p ingrass-bench --release --bin table1 [--scale f] [--cases a,b]`
+
+use ingrass::{InGrassEngine, SetupConfig};
+use ingrass_baselines::GrassSparsifier;
+use ingrass_bench::{fmt_secs, write_csv, HarnessOptions};
+use std::time::Instant;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    println!(
+        "Table I — GRASS time vs inGRASS setup time (scale {:.4}, seed {})",
+        opts.scale, opts.seed
+    );
+    println!(
+        "{:<14} {:>9} {:>9}   {:>12} {:>12}   {:>10} {:>10}",
+        "case", "|V|", "|E|", "GRASS", "Setup", "paperGRASS", "paperSetup"
+    );
+    let mut csv = Vec::new();
+    for case in &opts.cases {
+        let g0 = case.build(opts.scale, opts.seed);
+
+        // GRASS column: one full from-scratch sparsification.
+        let t = Instant::now();
+        let h0 = GrassSparsifier::default()
+            .by_offtree_density(&g0, opts.initial_density)
+            .expect("sparsification");
+        let grass_s = t.elapsed().as_secs_f64();
+
+        // Setup column: the inGRASS one-time setup on H(0).
+        let t = Instant::now();
+        let engine =
+            InGrassEngine::setup(&h0.graph, &SetupConfig::default().with_seed(opts.seed))
+                .expect("setup");
+        let setup_s = t.elapsed().as_secs_f64();
+
+        println!(
+            "{:<14} {:>9} {:>9}   {:>12} {:>12}   {:>9.2}s {:>9.2}s",
+            case.name(),
+            g0.num_nodes(),
+            g0.num_edges(),
+            fmt_secs(grass_s),
+            fmt_secs(setup_s),
+            case.paper_grass_seconds(),
+            case.paper_setup_seconds(),
+        );
+        csv.push(format!(
+            "{},{},{},{:.6},{:.6},{},{},{}",
+            case.name(),
+            g0.num_nodes(),
+            g0.num_edges(),
+            grass_s,
+            setup_s,
+            engine.setup_report().levels,
+            case.paper_grass_seconds(),
+            case.paper_setup_seconds(),
+        ));
+    }
+    write_csv(
+        "table1.csv",
+        "case,nodes,edges,grass_s,setup_s,lrd_levels,paper_grass_s,paper_setup_s",
+        &csv,
+    );
+}

@@ -1,0 +1,127 @@
+//! Setup and update configuration.
+
+use ingrass_resistance::{JlConfig, KrylovConfig};
+
+/// Which estimator supplies the per-edge effective resistances consumed by
+/// the LRD decomposition (setup phase 1).
+#[derive(Debug, Clone)]
+pub enum ResistanceBackend {
+    /// The paper's solve-free Krylov-subspace embedding (default).
+    Krylov(KrylovConfig),
+    /// Spielman–Srivastava projections with tree-preconditioned CG solves —
+    /// sharper but performs `O(log N)` Laplacian solves (ablation).
+    Jl(JlConfig),
+    /// Use each edge's own resistance `1/w(e)` — the zero-cost floor
+    /// (ablation; ignores parallel paths entirely).
+    LocalOnly,
+}
+
+impl Default for ResistanceBackend {
+    fn default() -> Self {
+        ResistanceBackend::Krylov(KrylovConfig::default())
+    }
+}
+
+/// Configuration of the one-time setup phase.
+#[derive(Debug, Clone)]
+pub struct SetupConfig {
+    /// Resistance estimator for the sparsifier's edges.
+    pub resistance: ResistanceBackend,
+    /// Per-level growth factor `γ` of the resistance-diameter budget
+    /// (default 4; must be > 1).
+    pub diameter_growth: f64,
+    /// Initial diameter budget `δ₀`. `None` (default) picks 4× the median
+    /// estimated edge resistance — small enough that level 1 only merges
+    /// tightly coupled nodes.
+    pub initial_diameter: Option<f64>,
+    /// Hard cap on the number of LRD levels (default 64 — effectively
+    /// "until one cluster remains").
+    pub max_levels: usize,
+    /// RNG seed threaded into the resistance estimator.
+    pub seed: u64,
+}
+
+impl Default for SetupConfig {
+    fn default() -> Self {
+        SetupConfig {
+            resistance: ResistanceBackend::default(),
+            diameter_growth: 4.0,
+            initial_diameter: None,
+            max_levels: 64,
+            seed: 42,
+        }
+    }
+}
+
+impl SetupConfig {
+    /// Returns the config with the given resistance backend.
+    pub fn with_resistance(mut self, backend: ResistanceBackend) -> Self {
+        self.resistance = backend;
+        self
+    }
+
+    /// Returns the config with the given diameter growth factor.
+    pub fn with_diameter_growth(mut self, gamma: f64) -> Self {
+        self.diameter_growth = gamma;
+        self
+    }
+
+    /// Returns the config with the given seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Configuration of one update batch.
+#[derive(Debug, Clone)]
+pub struct UpdateConfig {
+    /// Target relative condition number `C = κ(L_G, L_H)`. Selects the
+    /// filtering level: the deepest LRD level whose largest cluster has at
+    /// most `C/2` nodes (paper Section III-C-2). Must be ≥ 2.
+    pub target_condition: f64,
+    /// Process the batch in decreasing estimated-distortion order
+    /// (default `true`, per the paper; `false` keeps arrival order — an
+    /// ablation knob).
+    pub sort_by_distortion: bool,
+    /// Explicit filtering level, overriding the one derived from
+    /// `target_condition` (ablation knob; `None` = derive).
+    pub filtering_level_override: Option<usize>,
+}
+
+impl Default for UpdateConfig {
+    fn default() -> Self {
+        UpdateConfig {
+            target_condition: 100.0,
+            sort_by_distortion: true,
+            filtering_level_override: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let s = SetupConfig::default();
+        assert!(s.diameter_growth > 1.0);
+        assert!(s.max_levels >= 8);
+        assert!(matches!(s.resistance, ResistanceBackend::Krylov(_)));
+        let u = UpdateConfig::default();
+        assert!(u.target_condition >= 2.0);
+        assert!(u.sort_by_distortion);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let s = SetupConfig::default()
+            .with_diameter_growth(2.0)
+            .with_seed(9)
+            .with_resistance(ResistanceBackend::LocalOnly);
+        assert_eq!(s.diameter_growth, 2.0);
+        assert_eq!(s.seed, 9);
+        assert!(matches!(s.resistance, ResistanceBackend::LocalOnly));
+    }
+}

@@ -1,0 +1,200 @@
+//! The multilevel sparse cluster-connectivity structure (paper Section
+//! III-B-3): for every LRD level, which sparsifier edge connects each
+//! cluster pair, and which edges live inside each cluster.
+
+use crate::lrd::LrdHierarchy;
+use ingrass_graph::{DynGraph, EdgeId, NodeId};
+use std::collections::HashMap;
+
+/// Per-level cluster-pair → representative-edge index plus per-cluster
+/// internal-edge registry.
+///
+/// This is the structure the update phase queries in `O(1)` per level:
+///
+/// * [`ClusterConnectivity::connecting_edge`] — is there already a
+///   sparsifier edge between these two clusters? (→ **merge** outcome)
+/// * [`ClusterConnectivity::intra_edges`] — the sparsifier edges inside a
+///   cluster (→ **redistribute** outcome).
+///
+/// It is updated (`register_edge`) whenever the engine includes a new edge,
+/// exactly as the paper prescribes ("the sparse data structure is promptly
+/// updated upon the addition of a newly introduced edge").
+#[derive(Debug, Clone)]
+pub struct ClusterConnectivity {
+    /// One map per level: canonical cluster pair → representative edge.
+    pair_maps: Vec<HashMap<(u32, u32), EdgeId>>,
+    /// One map per level: cluster → edges fully inside it.
+    intra_maps: Vec<HashMap<u32, Vec<EdgeId>>>,
+}
+
+impl ClusterConnectivity {
+    /// Indexes every live edge of `h` against `hierarchy`.
+    pub fn build(h: &DynGraph, hierarchy: &LrdHierarchy) -> Self {
+        let levels = hierarchy.num_levels();
+        let mut conn = ClusterConnectivity {
+            pair_maps: vec![HashMap::new(); levels],
+            intra_maps: vec![HashMap::new(); levels],
+        };
+        for (id, edge) in h.edges_iter() {
+            conn.register_edge(hierarchy, id, edge.u, edge.v);
+        }
+        conn
+    }
+
+    /// Registers a (new) sparsifier edge at every level.
+    pub fn register_edge(
+        &mut self,
+        hierarchy: &LrdHierarchy,
+        id: EdgeId,
+        u: NodeId,
+        v: NodeId,
+    ) {
+        for (level, lvl) in hierarchy.levels().iter().enumerate() {
+            let (mut cu, mut cv) = (lvl.cluster_of[u.index()], lvl.cluster_of[v.index()]);
+            if cu == cv {
+                self.intra_maps[level].entry(cu).or_default().push(id);
+            } else {
+                if cu > cv {
+                    std::mem::swap(&mut cu, &mut cv);
+                }
+                self.pair_maps[level].entry((cu, cv)).or_insert(id);
+            }
+        }
+    }
+
+    /// The representative sparsifier edge between clusters `a` and `b` at
+    /// `level`, if any.
+    ///
+    /// # Panics
+    /// Panics if `level` is out of bounds.
+    pub fn connecting_edge(&self, level: usize, a: u32, b: u32) -> Option<EdgeId> {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.pair_maps[level].get(&key).copied()
+    }
+
+    /// The sparsifier edges fully inside cluster `c` at `level`.
+    ///
+    /// # Panics
+    /// Panics if `level` is out of bounds.
+    pub fn intra_edges(&self, level: usize, c: u32) -> &[EdgeId] {
+        self.intra_maps[level]
+            .get(&c)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct connected cluster pairs at `level` (statistics).
+    ///
+    /// # Panics
+    /// Panics if `level` is out of bounds.
+    pub fn num_connected_pairs(&self, level: usize) -> usize {
+        self.pair_maps[level].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lrd::LrdHierarchy;
+    use ingrass_gen::{grid_2d, WeightModel};
+    use ingrass_graph::Graph;
+
+    fn setup(g: &Graph) -> (DynGraph, LrdHierarchy, ClusterConnectivity) {
+        let r: Vec<f64> = g.edges().iter().map(|e| 1.0 / e.weight).collect();
+        let h = LrdHierarchy::build(g, &r, None, 4.0, 64).unwrap();
+        let d = DynGraph::from_graph(g);
+        let c = ClusterConnectivity::build(&d, &h);
+        (d, h, c)
+    }
+
+    #[test]
+    fn level0_pair_map_mirrors_edges() {
+        let g = grid_2d(5, 5, WeightModel::Unit, 1);
+        let (d, _h, c) = setup(&g);
+        // At the singleton level every edge connects two distinct clusters.
+        assert_eq!(c.num_connected_pairs(0), g.num_edges());
+        for (id, e) in d.edges_iter() {
+            assert_eq!(c.connecting_edge(0, e.u.raw(), e.v.raw()), Some(id));
+        }
+        assert!(c.intra_edges(0, 0).is_empty());
+    }
+
+    #[test]
+    fn top_level_holds_all_edges_as_intra() {
+        let g = grid_2d(6, 4, WeightModel::Unit, 2);
+        let (_d, h, c) = setup(&g);
+        let top = h.num_levels() - 1;
+        assert_eq!(c.num_connected_pairs(top), 0);
+        assert_eq!(c.intra_edges(top, 0).len(), g.num_edges());
+    }
+
+    #[test]
+    fn every_edge_is_intra_or_pair_at_every_level() {
+        let g = grid_2d(8, 8, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 3);
+        let (_d, h, c) = setup(&g);
+        for level in 0..h.num_levels() {
+            let intra_total: usize = (0..h.level(level).num_clusters as u32)
+                .map(|cl| c.intra_edges(level, cl).len())
+                .sum();
+            // Pair maps deduplicate to one representative per pair, so
+            // intra + distinct pairs ≤ edges, and intra counts every edge
+            // inside clusters exactly once.
+            let pairs = c.num_connected_pairs(level);
+            assert!(intra_total + pairs <= g.num_edges());
+            // All edges accounted: recompute directly.
+            let lvl = h.level(level);
+            let expect_intra = g
+                .edges()
+                .iter()
+                .filter(|e| lvl.cluster_of[e.u.index()] == lvl.cluster_of[e.v.index()])
+                .count();
+            assert_eq!(intra_total, expect_intra);
+        }
+    }
+
+    #[test]
+    fn register_edge_updates_maps() {
+        let g = grid_2d(4, 4, WeightModel::Unit, 4);
+        let (mut d, h, mut c) = setup(&g);
+        // Insert a brand-new long-range edge into H and register it.
+        let (id, created) = d.add_edge(0.into(), 15.into(), 1.0).unwrap();
+        assert!(created);
+        let before = c.connecting_edge(0, 0, 15);
+        assert!(before.is_none());
+        c.register_edge(&h, id, 0.into(), 15.into());
+        assert_eq!(c.connecting_edge(0, 0, 15), Some(id));
+        // At the top level it lands in the intra registry.
+        let top = h.num_levels() - 1;
+        assert!(c.intra_edges(top, 0).contains(&id));
+    }
+
+    #[test]
+    fn representative_is_first_registered() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0), (0, 2, 1.0), (1, 3, 1.0)])
+            .unwrap();
+        let r = vec![1.0, 1.0, 1.0, 1.0];
+        let h = LrdHierarchy::build(&g, &r, Some(1.5), 4.0, 64).unwrap();
+        let d = DynGraph::from_graph(&g);
+        let c = ClusterConnectivity::build(&d, &h);
+        // Whatever level clusters {0,1} and {2,3} (if formed), the first
+        // inter-edge in id order is the representative.
+        for level in 0..h.num_levels() {
+            let lvl = h.level(level);
+            let (c0, c2) = (lvl.cluster_of[0], lvl.cluster_of[2]);
+            if c0 != c2 {
+                if let Some(rep) = c.connecting_edge(level, c0, c2) {
+                    let e = d.edge(rep).unwrap();
+                    let crossings: Vec<EdgeId> = d
+                        .edges_iter()
+                        .filter(|(_, e)| {
+                            lvl.cluster_of[e.u.index()] != lvl.cluster_of[e.v.index()]
+                        })
+                        .map(|(i, _)| i)
+                        .collect();
+                    assert!(crossings.contains(&rep));
+                    assert!(lvl.cluster_of[e.u.index()] != lvl.cluster_of[e.v.index()]);
+                }
+            }
+        }
+    }
+}

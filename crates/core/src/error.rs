@@ -1,0 +1,52 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the inGRASS engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InGrassError {
+    /// The initial sparsifier is unusable (empty or disconnected) — the
+    /// multilevel decomposition requires a connected `H(0)`.
+    BadSparsifier(String),
+    /// A configuration value is outside its domain.
+    InvalidConfig(String),
+    /// A graph operation failed during an update.
+    Graph(String),
+}
+
+impl fmt::Display for InGrassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InGrassError::BadSparsifier(msg) => write!(f, "bad initial sparsifier: {msg}"),
+            InGrassError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            InGrassError::Graph(msg) => write!(f, "graph operation failed: {msg}"),
+        }
+    }
+}
+
+impl Error for InGrassError {}
+
+impl From<ingrass_graph::GraphError> for InGrassError {
+    fn from(e: ingrass_graph::GraphError) -> Self {
+        InGrassError::Graph(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = InGrassError::InvalidConfig("target condition must be ≥ 2".into());
+        assert!(e.to_string().contains("configuration"));
+        let ge = ingrass_graph::GraphError::Empty;
+        let e: InGrassError = ge.into();
+        assert!(matches!(e, InGrassError::Graph(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<InGrassError>();
+    }
+}

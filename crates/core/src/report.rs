@@ -1,0 +1,104 @@
+//! Setup and update reports.
+
+use std::time::Duration;
+
+/// What happened to one inserted edge during the update phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeOutcome {
+    /// Spectrally critical and unique: added to the sparsifier.
+    Included,
+    /// A sparsifier edge already connects the two clusters at the filtering
+    /// level: its weight absorbed the new edge.
+    Merged,
+    /// Both endpoints share a cluster at the filtering level: the weight was
+    /// distributed proportionally over the cluster's internal edges.
+    Redistributed,
+}
+
+/// Statistics of one [`crate::InGrassEngine::setup`] run.
+#[derive(Debug, Clone)]
+pub struct SetupReport {
+    /// Nodes in the sparsifier.
+    pub nodes: usize,
+    /// Edges in the initial sparsifier.
+    pub edges: usize,
+    /// LRD levels built (= node embedding dimension).
+    pub levels: usize,
+    /// Time spent estimating edge resistances.
+    pub resistance_time: Duration,
+    /// Time spent on the LRD decomposition.
+    pub lrd_time: Duration,
+    /// Time spent building the cluster-connectivity index.
+    pub connectivity_time: Duration,
+    /// Total setup wall time.
+    pub total_time: Duration,
+}
+
+/// Statistics of one [`crate::InGrassEngine::insert_batch`] call.
+#[derive(Debug, Clone)]
+pub struct UpdateReport {
+    /// Edges in the batch.
+    pub batch_size: usize,
+    /// Edges added to the sparsifier.
+    pub included: usize,
+    /// Edges merged onto existing representative edges.
+    pub merged: usize,
+    /// Edges redistributed inside clusters.
+    pub redistributed: usize,
+    /// Filtering level used.
+    pub filtering_level: usize,
+    /// Largest estimated distortion in the batch.
+    pub max_distortion: f64,
+    /// Batch wall time.
+    pub elapsed: Duration,
+}
+
+impl UpdateReport {
+    /// Edges processed (must equal `batch_size`).
+    pub fn total_processed(&self) -> usize {
+        self.included + self.merged + self.redistributed
+    }
+
+    /// Fraction of the batch physically added to the sparsifier.
+    pub fn inclusion_rate(&self) -> f64 {
+        if self.batch_size == 0 {
+            0.0
+        } else {
+            self.included as f64 / self.batch_size as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_report_accounting() {
+        let r = UpdateReport {
+            batch_size: 10,
+            included: 4,
+            merged: 5,
+            redistributed: 1,
+            filtering_level: 3,
+            max_distortion: 2.5,
+            elapsed: Duration::from_millis(1),
+        };
+        assert_eq!(r.total_processed(), 10);
+        assert!((r.inclusion_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_batch_rate_is_zero() {
+        let r = UpdateReport {
+            batch_size: 0,
+            included: 0,
+            merged: 0,
+            redistributed: 0,
+            filtering_level: 0,
+            max_distortion: 0.0,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(r.inclusion_rate(), 0.0);
+    }
+}

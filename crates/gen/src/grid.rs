@@ -1,0 +1,240 @@
+//! Power-grid and lattice generators (`G2_circuit` / `G3_circuit`
+//! analogues).
+
+use ingrass_graph::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How edge weights (conductances) are assigned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightModel {
+    /// All weights 1 (pattern-only matrices like `delaunay_nXX`).
+    Unit,
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Lower bound (must be positive).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Log-uniform over `[lo, hi]` — heavy spread typical of extracted
+    /// parasitic networks.
+    LogUniform {
+        /// Lower bound (must be positive).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+}
+
+impl WeightModel {
+    pub(crate) fn sample(&self, rng: &mut StdRng) -> f64 {
+        match *self {
+            WeightModel::Unit => 1.0,
+            WeightModel::Uniform { lo, hi } => lo + (hi - lo) * rng.random::<f64>(),
+            WeightModel::LogUniform { lo, hi } => {
+                (lo.ln() + (hi.ln() - lo.ln()) * rng.random::<f64>()).exp()
+            }
+        }
+    }
+}
+
+/// Configuration for [`power_grid`].
+///
+/// Models an on-chip power-distribution network: each metal layer is a set
+/// of parallel rails (alternating preferred routing direction per layer),
+/// adjacent layers are stitched by vias on a coarser pitch, and upper layers
+/// use wider wires (higher conductance). The resulting graph matches the
+/// structure class of `G2_circuit` / `G3_circuit`: near-planar, average
+/// degree ≈ 4, bimodal weights.
+#[derive(Debug, Clone)]
+pub struct PowerGridConfig {
+    /// Rails per layer in the x direction.
+    pub width: usize,
+    /// Rails per layer in the y direction.
+    pub height: usize,
+    /// Number of metal layers (≥ 1).
+    pub layers: usize,
+    /// Via pitch: every `via_pitch`-th crossing gets a via to the layer
+    /// above.
+    pub via_pitch: usize,
+    /// Conductance of a wire segment on layer 0 (scaled ×2 per layer up).
+    pub segment_conductance: f64,
+    /// Conductance of a via.
+    pub via_conductance: f64,
+    /// Cross-direction strap conductance as a fraction of the preferred
+    /// direction (real PDN layers carry thin cross-straps; this also puts
+    /// the |E|/|V| ratio at the G2_circuit level of ≈ 2).
+    pub cross_factor: f64,
+    /// Relative jitter applied to every conductance (process variation).
+    pub jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PowerGridConfig {
+    fn default() -> Self {
+        PowerGridConfig {
+            width: 64,
+            height: 64,
+            layers: 2,
+            via_pitch: 4,
+            segment_conductance: 1.0,
+            via_conductance: 10.0,
+            cross_factor: 0.15,
+            jitter: 0.2,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a multi-layer power-grid graph.
+///
+/// Nodes are grid crossings `(layer, y, x)`, numbered layer-major. Layer
+/// `ℓ` routes horizontally when `ℓ` is even, vertically when odd — each
+/// layer only connects crossings along its preferred direction, and vias
+/// join the layers. The graph is connected for `via_pitch ≤ min(width,
+/// height)` (checked by tests, not enforced).
+///
+/// # Panics
+/// Panics if `width`, `height`, or `layers` is zero.
+pub fn power_grid(cfg: &PowerGridConfig) -> Graph {
+    assert!(cfg.width > 0 && cfg.height > 0 && cfg.layers > 0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let (w, h, l) = (cfg.width, cfg.height, cfg.layers);
+    let nodes_per_layer = w * h;
+    let n = nodes_per_layer * l;
+    let id = |layer: usize, y: usize, x: usize| layer * nodes_per_layer + y * w + x;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    let jittered = |base: f64, rng: &mut StdRng| {
+        let j = 1.0 + cfg.jitter * (2.0 * rng.random::<f64>() - 1.0);
+        (base * j).max(1e-9)
+    };
+    for layer in 0..l {
+        let cond = cfg.segment_conductance * (1u64 << layer.min(20)) as f64;
+        let horizontal = layer % 2 == 0;
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    let base = if horizontal { cond } else { cond * cfg.cross_factor };
+                    let wgt = jittered(base, &mut rng);
+                    b.add_edge(id(layer, y, x), id(layer, y, x + 1), wgt)
+                        .expect("grid indices valid");
+                }
+                if y + 1 < h {
+                    let base = if horizontal { cond * cfg.cross_factor } else { cond };
+                    let wgt = jittered(base, &mut rng);
+                    b.add_edge(id(layer, y, x), id(layer, y + 1, x), wgt)
+                        .expect("grid indices valid");
+                }
+                // Vias up wherever either coordinate sits on the via grid:
+                // every horizontal rail reaches the x ≡ 0 column rails and
+                // every vertical rail reaches the y ≡ 0 row rails, which
+                // keeps the two layers globally connected at any pitch.
+                if layer + 1 < l && (x % cfg.via_pitch == 0 || y % cfg.via_pitch == 0) {
+                    let wgt = jittered(cfg.via_conductance, &mut rng);
+                    b.add_edge(id(layer, y, x), id(layer + 1, y, x), wgt)
+                        .expect("grid indices valid");
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// A plain 2-D grid graph with the given weight model — the workhorse for
+/// unit tests across the workspace.
+///
+/// # Panics
+/// Panics if `width` or `height` is zero.
+pub fn grid_2d(width: usize, height: usize, weights: WeightModel, seed: u64) -> Graph {
+    assert!(width > 0 && height > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = width * height;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for y in 0..height {
+        for x in 0..width {
+            let u = y * width + x;
+            if x + 1 < width {
+                b.add_edge(u, u + 1, weights.sample(&mut rng))
+                    .expect("grid indices valid");
+            }
+            if y + 1 < height {
+                b.add_edge(u, u + width, weights.sample(&mut rng))
+                    .expect("grid indices valid");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ingrass_graph::is_connected;
+
+    #[test]
+    fn grid_2d_counts() {
+        let g = grid_2d(5, 4, WeightModel::Unit, 0);
+        assert_eq!(g.num_nodes(), 20);
+        assert_eq!(g.num_edges(), 4 * 4 + 5 * 3); // horizontal + vertical
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn weight_models_produce_expected_ranges() {
+        let g = grid_2d(10, 10, WeightModel::Uniform { lo: 2.0, hi: 3.0 }, 1);
+        for e in g.edges() {
+            assert!(e.weight >= 2.0 && e.weight <= 3.0);
+        }
+        let g = grid_2d(10, 10, WeightModel::LogUniform { lo: 0.1, hi: 10.0 }, 1);
+        for e in g.edges() {
+            assert!(e.weight >= 0.1 && e.weight <= 10.0);
+        }
+    }
+
+    #[test]
+    fn power_grid_is_connected_with_expected_density() {
+        let g = power_grid(&PowerGridConfig::default());
+        assert_eq!(g.num_nodes(), 64 * 64 * 2);
+        assert!(is_connected(&g));
+        // |E|/|V| close to the G2_circuit ratio (~1.9): rails + straps ≈ 2
+        // per node, plus sparse vias.
+        let ratio = g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(ratio > 1.6 && ratio < 2.6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn power_grid_single_layer_connected() {
+        let g = power_grid(&PowerGridConfig {
+            layers: 1,
+            width: 16,
+            height: 16,
+            ..Default::default()
+        });
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn power_grid_has_bimodal_weights() {
+        let cfg = PowerGridConfig {
+            jitter: 0.0,
+            ..Default::default()
+        };
+        let g = power_grid(&cfg);
+        let heavy = g.edges().iter().filter(|e| e.weight >= 5.0).count();
+        let light = g.edges().iter().filter(|e| e.weight < 5.0).count();
+        assert!(heavy > 0 && light > 0);
+        // Cross-straps are the lightest class.
+        let straps = g.edges().iter().filter(|e| e.weight < 0.5).count();
+        assert!(straps > 0);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = power_grid(&PowerGridConfig::default());
+        let b = power_grid(&PowerGridConfig::default());
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.edges()[0].weight, b.edges()[0].weight);
+    }
+}

@@ -1,0 +1,326 @@
+//! Finite-element mesh generators (`fe_sphere`, `fe_ocean`,
+//! `fe_4elt2`/`NACA15` analogues).
+
+use crate::delaunay::{triangles_to_graph_fe, triangulate};
+use ingrass_graph::{connected_components, Graph, GraphBuilder, GraphError};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`sphere_mesh`].
+#[derive(Debug, Clone)]
+pub struct SphereConfig {
+    /// Latitude rings (≥ 2).
+    pub rings: usize,
+    /// Longitude segments per ring (≥ 3).
+    pub segments: usize,
+    /// RNG seed (perturbs vertex positions slightly, like a real FE mesh).
+    pub seed: u64,
+}
+
+impl Default for SphereConfig {
+    fn default() -> Self {
+        SphereConfig {
+            rings: 40,
+            segments: 80,
+            seed: 0,
+        }
+    }
+}
+
+/// A triangulated UV-sphere surface mesh — the `fe_sphere` substitute.
+///
+/// Vertices: 2 poles + `(rings − 1) × segments` ring points; each quad of
+/// the UV lattice is split into two triangles and edge conductances are
+/// `1/length` (FE stiffness style).
+///
+/// # Panics
+/// Panics if `rings < 2` or `segments < 3`.
+pub fn sphere_mesh(cfg: &SphereConfig) -> Graph {
+    assert!(cfg.rings >= 2 && cfg.segments >= 3);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let (r, s) = (cfg.rings, cfg.segments);
+    let n = 2 + (r - 1) * s;
+    // 3-D positions.
+    let mut pos: Vec<(f64, f64, f64)> = Vec::with_capacity(n);
+    pos.push((0.0, 0.0, 1.0)); // north pole = 0
+    for i in 1..r {
+        let theta = std::f64::consts::PI * i as f64 / r as f64;
+        for j in 0..s {
+            let jitter = 0.3 * (rng.random::<f64>() - 0.5) / r as f64;
+            let phi = 2.0 * std::f64::consts::PI * (j as f64 / s as f64) + jitter;
+            pos.push((theta.sin() * phi.cos(), theta.sin() * phi.sin(), theta.cos()));
+        }
+    }
+    pos.push((0.0, 0.0, -1.0)); // south pole = n-1
+    let ring = |i: usize, j: usize| 1 + (i - 1) * s + (j % s);
+    let mut b = GraphBuilder::with_capacity(n, 3 * n);
+    let add = |b: &mut GraphBuilder, u: usize, v: usize| {
+        let (pu, pv) = (pos[u], pos[v]);
+        let len = ((pu.0 - pv.0).powi(2) + (pu.1 - pv.1).powi(2) + (pu.2 - pv.2).powi(2))
+            .sqrt()
+            .max(1e-9);
+        b.add_edge(u, v, 1.0 / len).expect("sphere indices valid");
+    };
+    // Pole fans.
+    for j in 0..s {
+        add(&mut b, 0, ring(1, j));
+        add(&mut b, n - 1, ring(r - 1, j));
+    }
+    // Ring quads split into triangles: ring edges, meridian edges, diagonals.
+    for i in 1..r {
+        for j in 0..s {
+            add(&mut b, ring(i, j), ring(i, j + 1));
+            if i + 1 < r {
+                add(&mut b, ring(i, j), ring(i + 1, j));
+                add(&mut b, ring(i, j), ring(i + 1, j + 1)); // diagonal
+            }
+        }
+    }
+    b.build()
+}
+
+/// Configuration for [`ocean_mesh`].
+#[derive(Debug, Clone)]
+pub struct OceanConfig {
+    /// Target number of mesh points before land masking.
+    pub points: usize,
+    /// Number of elliptical land masses removed from the domain.
+    pub islands: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OceanConfig {
+    fn default() -> Self {
+        OceanConfig {
+            points: 4000,
+            islands: 6,
+            seed: 0,
+        }
+    }
+}
+
+/// A triangulated 2-D "ocean" domain with island holes — the `fe_ocean`
+/// substitute (irregular boundary, non-convex domain, FE weights).
+///
+/// Points are sampled uniformly, points falling on land are rejected, the
+/// remainder is Delaunay-triangulated, triangles whose centroid lies on
+/// land are removed, and the largest connected component is returned with
+/// dense node ids.
+///
+/// # Errors
+/// Propagates graph construction errors (none expected for valid configs).
+pub fn ocean_mesh(cfg: &OceanConfig) -> Result<Graph, GraphError> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Random elliptical islands.
+    let islands: Vec<(f64, f64, f64, f64)> = (0..cfg.islands)
+        .map(|_| {
+            (
+                0.15 + 0.7 * rng.random::<f64>(), // cx
+                0.15 + 0.7 * rng.random::<f64>(), // cy
+                0.03 + 0.1 * rng.random::<f64>(), // rx
+                0.03 + 0.1 * rng.random::<f64>(), // ry
+            )
+        })
+        .collect();
+    let on_land = |x: f64, y: f64| {
+        islands
+            .iter()
+            .any(|&(cx, cy, rx, ry)| ((x - cx) / rx).powi(2) + ((y - cy) / ry).powi(2) < 1.0)
+    };
+    let mut pts: Vec<(f64, f64)> = Vec::with_capacity(cfg.points);
+    let mut attempts = 0usize;
+    while pts.len() < cfg.points && attempts < 20 * cfg.points {
+        attempts += 1;
+        let (x, y) = (rng.random::<f64>(), rng.random::<f64>());
+        if !on_land(x, y) {
+            pts.push((x, y));
+        }
+    }
+    let tris = triangulate(&pts);
+    let water_tris: Vec<[u32; 3]> = tris
+        .into_iter()
+        .filter(|t| {
+            let cx = (pts[t[0] as usize].0 + pts[t[1] as usize].0 + pts[t[2] as usize].0) / 3.0;
+            let cy = (pts[t[0] as usize].1 + pts[t[1] as usize].1 + pts[t[2] as usize].1) / 3.0;
+            !on_land(cx, cy)
+        })
+        .collect();
+    let g = triangles_to_graph_fe(&pts, &water_tris)?;
+    Ok(largest_component(&g))
+}
+
+/// Configuration for [`airfoil_mesh`].
+#[derive(Debug, Clone)]
+pub struct AirfoilConfig {
+    /// Target number of mesh points.
+    pub points: usize,
+    /// NACA 4-digit maximum thickness (e.g. 0.15 for NACA 0015 — the
+    /// namesake of the paper's `NACA15` case).
+    pub thickness: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AirfoilConfig {
+    fn default() -> Self {
+        AirfoilConfig {
+            points: 4000,
+            thickness: 0.15,
+            seed: 0,
+        }
+    }
+}
+
+/// NACA 00xx half-thickness at chord position `x ∈ [0, 1]`.
+fn naca_half_thickness(t: f64, x: f64) -> f64 {
+    5.0 * t
+        * (0.2969 * x.sqrt() - 0.1260 * x - 0.3516 * x * x + 0.2843 * x * x * x
+            - 0.1015 * x * x * x * x)
+}
+
+/// A 2-D CFD-style airfoil mesh — the `fe_4elt2` / `NACA15` / `M6`
+/// substitute: point density graded towards a NACA profile, the profile
+/// interior removed, FE conductances `1/length`.
+///
+/// # Errors
+/// Propagates graph construction errors (none expected for valid configs).
+pub fn airfoil_mesh(cfg: &AirfoilConfig) -> Result<Graph, GraphError> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Airfoil chord spans x ∈ [0.3, 0.7] at mid-height of the unit square.
+    let inside_foil = |x: f64, y: f64| {
+        let cx = (x - 0.3) / 0.4;
+        if !(0.0..=1.0).contains(&cx) {
+            return false;
+        }
+        let half = 0.4 * naca_half_thickness(cfg.thickness, cx);
+        (y - 0.5).abs() < half
+    };
+    let mut pts: Vec<(f64, f64)> = Vec::with_capacity(cfg.points);
+    let mut attempts = 0usize;
+    while pts.len() < cfg.points && attempts < 40 * cfg.points {
+        attempts += 1;
+        // Graded sampling: with probability 1/2 sample near the foil.
+        let (x, y) = if rng.random::<bool>() {
+            (
+                0.25 + 0.5 * rng.random::<f64>(),
+                0.5 + 0.22 * (rng.random::<f64>() - 0.5),
+            )
+        } else {
+            (rng.random::<f64>(), rng.random::<f64>())
+        };
+        if !inside_foil(x, y) {
+            pts.push((x, y));
+        }
+    }
+    let tris = triangulate(&pts);
+    let air_tris: Vec<[u32; 3]> = tris
+        .into_iter()
+        .filter(|t| {
+            let cx = (pts[t[0] as usize].0 + pts[t[1] as usize].0 + pts[t[2] as usize].0) / 3.0;
+            let cy = (pts[t[0] as usize].1 + pts[t[1] as usize].1 + pts[t[2] as usize].1) / 3.0;
+            !inside_foil(cx, cy)
+        })
+        .collect();
+    let g = triangles_to_graph_fe(&pts, &air_tris)?;
+    Ok(largest_component(&g))
+}
+
+/// Restriction of `g` to its largest connected component, with nodes
+/// relabelled densely (used by the hole-cutting mesh generators).
+fn largest_component(g: &Graph) -> Graph {
+    let (count, labels) = connected_components(g);
+    if count <= 1 {
+        return g.clone();
+    }
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    let keep = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &s)| s)
+        .map(|(i, _)| i as u32)
+        .expect("at least one component");
+    let mut remap = vec![u32::MAX; g.num_nodes()];
+    let mut next = 0u32;
+    for (u, &l) in labels.iter().enumerate() {
+        if l == keep {
+            remap[u] = next;
+            next += 1;
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(next as usize, g.num_edges());
+    for e in g.edges() {
+        let (ru, rv) = (remap[e.u.index()], remap[e.v.index()]);
+        if ru != u32::MAX && rv != u32::MAX {
+            b.add_edge(ru as usize, rv as usize, e.weight)
+                .expect("remapped indices valid");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ingrass_graph::is_connected;
+
+    #[test]
+    fn sphere_is_connected_with_fe_density() {
+        let g = sphere_mesh(&SphereConfig {
+            rings: 16,
+            segments: 24,
+            seed: 1,
+        });
+        assert!(is_connected(&g));
+        let ratio = g.num_edges() as f64 / g.num_nodes() as f64;
+        // fe_sphere has |E|/|V| ≈ 3.
+        assert!(ratio > 2.5 && ratio < 3.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn ocean_mesh_is_connected_and_has_holes() {
+        let g = ocean_mesh(&OceanConfig {
+            points: 1500,
+            islands: 5,
+            seed: 2,
+        })
+        .unwrap();
+        assert!(is_connected(&g));
+        // Holes + boundary keep it well under the 3V−6 planar bound but it
+        // stays a 2-D triangulation.
+        let ratio = g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(ratio > 2.2 && ratio < 3.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn airfoil_mesh_connected_and_graded() {
+        let g = airfoil_mesh(&AirfoilConfig {
+            points: 1500,
+            thickness: 0.15,
+            seed: 3,
+        })
+        .unwrap();
+        assert!(is_connected(&g));
+        assert!(g.num_nodes() > 1300);
+    }
+
+    #[test]
+    fn meshes_are_deterministic() {
+        let a = ocean_mesh(&OceanConfig::default()).unwrap();
+        let b = ocean_mesh(&OceanConfig::default()).unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    fn naca_profile_shape_is_sane() {
+        // Thickest near 30% chord, closed at both ends.
+        assert!(naca_half_thickness(0.15, 0.0).abs() < 1e-12);
+        let t30 = naca_half_thickness(0.15, 0.3);
+        let t90 = naca_half_thickness(0.15, 0.9);
+        assert!(t30 > t90);
+        assert!(t30 > 0.07 && t30 < 0.08); // ~half of 15 % thickness
+    }
+}

@@ -1,0 +1,204 @@
+//! Heavy-tailed graph generators — the "social networks" of the paper's
+//! abstract.
+
+use crate::grid::WeightModel;
+use ingrass_graph::{connected_components, Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`rmat`].
+#[derive(Debug, Clone)]
+pub struct RmatConfig {
+    /// log₂ of the node count.
+    pub scale: u32,
+    /// Average edges per node to attempt.
+    pub edge_factor: usize,
+    /// RMAT quadrant probabilities `(a, b, c)`; `d = 1 − a − b − c`.
+    pub probabilities: (f64, f64, f64),
+    /// Edge weight model.
+    pub weights: WeightModel,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        RmatConfig {
+            scale: 10,
+            edge_factor: 8,
+            probabilities: (0.57, 0.19, 0.19),
+            weights: WeightModel::Unit,
+            seed: 0,
+        }
+    }
+}
+
+/// Recursive-matrix (R-MAT/Graph500 style) generator.
+///
+/// Duplicate edges coalesce (weights sum), self-loops are dropped, and a
+/// random Hamiltonian backbone path is added so the graph is always
+/// connected (isolated vertices would otherwise make sparsification
+/// experiments ill-posed).
+///
+/// # Panics
+/// Panics if the probabilities are outside `[0, 1]` or sum above 1.
+pub fn rmat(cfg: &RmatConfig) -> Graph {
+    let (a, b, c) = cfg.probabilities;
+    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0 + 1e-12);
+    let n = 1usize << cfg.scale;
+    let m = n * cfg.edge_factor;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut builder = GraphBuilder::with_capacity(n, m + n);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for bit in (0..cfg.scale).rev() {
+            let r: f64 = rng.random();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= du << bit;
+            v |= dv << bit;
+        }
+        if u != v {
+            builder
+                .add_edge(u, v, cfg.weights.sample(&mut rng))
+                .expect("rmat indices valid");
+        }
+    }
+    // Connectivity backbone: a random permutation path with light weights.
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        perm.swap(i, j);
+    }
+    for w in perm.windows(2) {
+        builder
+            .add_edge(w[0], w[1], 0.25 * cfg.weights.sample(&mut rng))
+            .expect("backbone indices valid");
+    }
+    let g = builder.build();
+    debug_assert_eq!(connected_components(&g).0, 1);
+    g
+}
+
+/// Configuration for [`barabasi_albert`].
+#[derive(Debug, Clone)]
+pub struct BaConfig {
+    /// Total number of nodes.
+    pub nodes: usize,
+    /// Edges attached from each new node (preferential attachment).
+    pub attach: usize,
+    /// Edge weight model.
+    pub weights: WeightModel,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BaConfig {
+    fn default() -> Self {
+        BaConfig {
+            nodes: 1000,
+            attach: 4,
+            weights: WeightModel::Unit,
+            seed: 0,
+        }
+    }
+}
+
+/// Barabási–Albert preferential attachment — connected by construction,
+/// power-law degrees.
+///
+/// # Panics
+/// Panics if `attach == 0` or `nodes <= attach`.
+pub fn barabasi_albert(cfg: &BaConfig) -> Graph {
+    assert!(cfg.attach > 0 && cfg.nodes > cfg.attach);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Repeated-endpoint list implements preferential attachment in O(1).
+    let mut endpoints: Vec<usize> = Vec::with_capacity(2 * cfg.nodes * cfg.attach);
+    let mut builder = GraphBuilder::with_capacity(cfg.nodes, cfg.nodes * cfg.attach);
+    // Seed clique over the first attach+1 nodes.
+    for u in 0..=cfg.attach {
+        for v in (u + 1)..=cfg.attach {
+            builder
+                .add_edge(u, v, cfg.weights.sample(&mut rng))
+                .expect("seed clique indices valid");
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for u in (cfg.attach + 1)..cfg.nodes {
+        let mut picked = std::collections::HashSet::new();
+        let mut guard = 0usize;
+        while picked.len() < cfg.attach && guard < 50 * cfg.attach {
+            guard += 1;
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if t != u {
+                picked.insert(t);
+            }
+        }
+        for &v in &picked {
+            builder
+                .add_edge(u, v, cfg.weights.sample(&mut rng))
+                .expect("attachment indices valid");
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ingrass_graph::{is_connected, NodeId};
+
+    #[test]
+    fn rmat_is_connected_and_skewed() {
+        let g = rmat(&RmatConfig {
+            scale: 9,
+            edge_factor: 8,
+            ..Default::default()
+        });
+        assert_eq!(g.num_nodes(), 512);
+        assert!(is_connected(&g));
+        // Degree skew: max degree far above average.
+        let max_deg = (0..g.num_nodes())
+            .map(|u| g.degree(NodeId::new(u)))
+            .max()
+            .unwrap();
+        let avg = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(max_deg as f64 > 3.0 * avg, "max {max_deg} avg {avg}");
+    }
+
+    #[test]
+    fn ba_is_connected_with_powerlaw_tail() {
+        let g = barabasi_albert(&BaConfig {
+            nodes: 800,
+            attach: 3,
+            ..Default::default()
+        });
+        assert_eq!(g.num_nodes(), 800);
+        assert!(is_connected(&g));
+        let max_deg = (0..g.num_nodes())
+            .map(|u| g.degree(NodeId::new(u)))
+            .max()
+            .unwrap();
+        assert!(max_deg > 20, "hub degree {max_deg}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = rmat(&RmatConfig::default());
+        let b = rmat(&RmatConfig::default());
+        assert_eq!(a.num_edges(), b.num_edges());
+        let a = barabasi_albert(&BaConfig::default());
+        let b = barabasi_albert(&BaConfig::default());
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

@@ -1,0 +1,140 @@
+//! Cluster contraction (quotient graphs).
+
+use crate::graph::Graph;
+use crate::ids::EdgeId;
+use std::collections::HashMap;
+
+/// Contracts `g` under a cluster assignment, producing the quotient graph.
+///
+/// * Nodes of the quotient are clusters `0..num_clusters`.
+/// * Intra-cluster edges disappear.
+/// * Parallel inter-cluster edges are combined by **summing weights** — the
+///   parallel-conductance law, which keeps the quotient Laplacian equal to
+///   the restriction of the original Laplacian to cluster-constant vectors.
+///
+/// Returns the quotient graph and, for each quotient edge, the id of a
+/// *representative* original edge (the heaviest edge between the two
+/// clusters). The representative map is what lets the low-stretch tree
+/// recursion and the GRASS baseline lift quotient-level decisions back to
+/// original edges.
+///
+/// # Panics
+/// Panics if `cluster_of.len() != g.num_nodes()` or a label is
+/// `≥ num_clusters`.
+///
+/// # Example
+/// ```
+/// use ingrass_graph::{Graph, quotient_graph};
+/// // Path 0-1-2-3; clusters {0,1} and {2,3}.
+/// let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]).unwrap();
+/// let (q, reps) = quotient_graph(&g, &[0, 0, 1, 1], 2);
+/// assert_eq!(q.num_nodes(), 2);
+/// assert_eq!(q.num_edges(), 1);
+/// assert_eq!(q.edges()[0].weight, 2.0);           // only the 1-2 edge crosses
+/// assert_eq!(reps[0].index(), 1);                  // representative is edge (1,2)
+/// ```
+pub fn quotient_graph(g: &Graph, cluster_of: &[u32], num_clusters: usize) -> (Graph, Vec<EdgeId>) {
+    assert_eq!(
+        cluster_of.len(),
+        g.num_nodes(),
+        "cluster assignment length mismatch"
+    );
+    // (cu, cv) -> (summed weight, representative edge id, representative weight)
+    let mut acc: HashMap<(u32, u32), (f64, u32, f64)> = HashMap::new();
+    for (i, e) in g.edges().iter().enumerate() {
+        let (mut cu, mut cv) = (cluster_of[e.u.index()], cluster_of[e.v.index()]);
+        assert!(
+            (cu as usize) < num_clusters && (cv as usize) < num_clusters,
+            "cluster label out of range"
+        );
+        if cu == cv {
+            continue;
+        }
+        if cu > cv {
+            std::mem::swap(&mut cu, &mut cv);
+        }
+        let entry = acc.entry((cu, cv)).or_insert((0.0, i as u32, f64::MIN));
+        entry.0 += e.weight;
+        if e.weight > entry.2 {
+            entry.1 = i as u32;
+            entry.2 = e.weight;
+        }
+    }
+    let mut items: Vec<((u32, u32), (f64, u32, f64))> = acc.into_iter().collect();
+    items.sort_unstable_by_key(|&(k, _)| k);
+    let edges: Vec<(usize, usize, f64)> = items
+        .iter()
+        .map(|&((a, b), (w, _, _))| (a as usize, b as usize, w))
+        .collect();
+    let reps: Vec<EdgeId> = items
+        .iter()
+        .map(|&(_, (_, rep, _))| EdgeId::from(rep))
+        .collect();
+    let q = Graph::from_edges(num_clusters, &edges)
+        .expect("quotient edges are valid by construction");
+    // `Graph` sorts canonical edges by (u, v); `items` is sorted the same
+    // way and contains no duplicates, so ids line up.
+    debug_assert_eq!(q.num_edges(), reps.len());
+    (q, reps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_edges_sum_and_representative_is_heaviest() {
+        // Two clusters joined by two edges (weights 1 and 5).
+        let g = Graph::from_edges(4, &[(0, 1, 9.0), (2, 3, 9.0), (0, 2, 1.0), (1, 3, 5.0)])
+            .unwrap();
+        let (q, reps) = quotient_graph(&g, &[0, 0, 1, 1], 2);
+        assert_eq!(q.num_edges(), 1);
+        assert_eq!(q.edges()[0].weight, 6.0);
+        // Representative must be the (1,3) edge of weight 5.
+        let rep = g.edge(reps[0]);
+        assert_eq!(rep.weight, 5.0);
+    }
+
+    #[test]
+    fn identity_clustering_reproduces_graph() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)]).unwrap();
+        let labels: Vec<u32> = (0..3).collect();
+        let (q, reps) = quotient_graph(&g, &labels, 3);
+        assert_eq!(q.num_edges(), g.num_edges());
+        for (i, r) in reps.iter().enumerate() {
+            assert_eq!(q.edges()[i].weight, g.edge(*r).weight);
+        }
+    }
+
+    #[test]
+    fn all_in_one_cluster_gives_empty_quotient() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)]).unwrap();
+        let (q, reps) = quotient_graph(&g, &[0, 0, 0], 1);
+        assert_eq!(q.num_nodes(), 1);
+        assert_eq!(q.num_edges(), 0);
+        assert!(reps.is_empty());
+    }
+
+    #[test]
+    fn quotient_laplacian_preserves_cluster_constant_quadratic_form() {
+        let g = Graph::from_edges(
+            5,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 0.5),
+                (3, 4, 1.5),
+                (0, 4, 3.0),
+            ],
+        )
+        .unwrap();
+        let labels = [0u32, 0, 1, 1, 2];
+        let (q, _) = quotient_graph(&g, &labels, 3);
+        // x constant on clusters: lift y (on clusters) to x (on nodes).
+        let y = [1.0, -2.0, 0.5];
+        let x: Vec<f64> = labels.iter().map(|&c| y[c as usize]).collect();
+        let lg = g.laplacian();
+        let lq = q.laplacian();
+        assert!((lg.quadratic_form(&x) - lq.quadratic_form(&y)).abs() < 1e-12);
+    }
+}

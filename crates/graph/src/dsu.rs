@@ -1,0 +1,153 @@
+//! Disjoint-set union (union–find) with path compression and union by size.
+
+/// A disjoint-set forest over `0..n`.
+///
+/// Used by Kruskal's algorithm, by the LRD decomposition in the core crate
+/// and by connectivity checks. Union by size + path halving gives effectively
+/// constant amortised operations.
+///
+/// # Example
+/// ```
+/// use ingrass_graph::DisjointSets;
+/// let mut dsu = DisjointSets::new(4);
+/// assert!(dsu.union(0, 1));
+/// assert!(!dsu.union(1, 0));     // already joined
+/// assert!(dsu.same(0, 1));
+/// assert_eq!(dsu.num_sets(), 3);
+/// assert_eq!(dsu.size_of(0), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DisjointSets {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    num_sets: usize,
+}
+
+impl DisjointSets {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        DisjointSets {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            num_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The representative of `x`'s set (with path halving).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x as usize
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.num_sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of sets remaining.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Size of the set containing `x`.
+    pub fn size_of(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+
+    /// Compacts set representatives into dense labels `0..num_sets` and
+    /// returns the per-element label vector.
+    pub fn labels(&mut self) -> Vec<u32> {
+        let n = self.len();
+        let mut label_of_root = vec![u32::MAX; n];
+        let mut next = 0u32;
+        let mut out = vec![0u32; n];
+        for x in 0..n {
+            let r = self.find(x);
+            if label_of_root[r] == u32::MAX {
+                label_of_root[r] = next;
+                next += 1;
+            }
+            out[x] = label_of_root[r];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_union_find() {
+        let mut d = DisjointSets::new(5);
+        assert_eq!(d.num_sets(), 5);
+        assert!(d.union(0, 1));
+        assert!(d.union(2, 3));
+        assert!(!d.same(0, 2));
+        assert!(d.union(1, 3));
+        assert!(d.same(0, 2));
+        assert_eq!(d.num_sets(), 2);
+        assert_eq!(d.size_of(3), 4);
+        assert_eq!(d.size_of(4), 1);
+    }
+
+    #[test]
+    fn labels_are_dense_and_consistent() {
+        let mut d = DisjointSets::new(6);
+        d.union(0, 3);
+        d.union(1, 4);
+        let labels = d.labels();
+        assert_eq!(labels[0], labels[3]);
+        assert_eq!(labels[1], labels[4]);
+        assert_ne!(labels[0], labels[1]);
+        let max = *labels.iter().max().unwrap() as usize;
+        assert_eq!(max + 1, d.num_sets());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_num_sets_matches_distinct_labels(
+            unions in proptest::collection::vec((0usize..12, 0usize..12), 0..30)
+        ) {
+            let mut d = DisjointSets::new(12);
+            for (a, b) in unions {
+                d.union(a, b);
+            }
+            let labels = d.labels();
+            let distinct: std::collections::HashSet<u32> = labels.iter().copied().collect();
+            prop_assert_eq!(distinct.len(), d.num_sets());
+        }
+    }
+}

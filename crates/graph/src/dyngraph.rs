@@ -1,0 +1,328 @@
+//! The mutable graph used for the sparsifier under incremental updates.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::{Edge, EdgeId, NodeId};
+use crate::Result;
+use std::collections::HashMap;
+
+/// A mutable weighted undirected graph with **stable edge ids**.
+///
+/// This is the representation of the sparsifier `H` while inGRASS updates
+/// it: the update phase needs to (a) insert a new edge, (b) *add weight onto
+/// an existing edge* when a new edge is merged into it, and (c) look up the
+/// edge between two endpoints — all in `O(1)` expected time. Edge ids are
+/// never reused, so the multilevel cluster-connectivity structure can keep
+/// long-lived references to representative edges.
+///
+/// Edge removal is provided as a hook for future deletion support (the
+/// inGRASS paper handles insertions only); removed ids become permanently
+/// dead.
+///
+/// # Example
+/// ```
+/// use ingrass_graph::DynGraph;
+/// let mut h = DynGraph::new(3);
+/// let (e01, created) = h.add_edge(0.into(), 1.into(), 1.0).unwrap();
+/// assert!(created);
+/// // Inserting the same pair again merges weights and returns the same id.
+/// let (e01b, created) = h.add_edge(1.into(), 0.into(), 2.0).unwrap();
+/// assert!(!created);
+/// assert_eq!(e01, e01b);
+/// assert_eq!(h.edge_weight(0.into(), 1.into()), Some(3.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DynGraph {
+    n: usize,
+    edges: Vec<Option<Edge>>,
+    adj: Vec<Vec<(u32, u32)>>, // (neighbour, edge id)
+    index: HashMap<(u32, u32), u32>,
+    live_edges: usize,
+}
+
+impl DynGraph {
+    /// An edgeless graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DynGraph {
+            n,
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+            index: HashMap::new(),
+            live_edges: 0,
+        }
+    }
+
+    /// Copies a static graph into dynamic form (edge ids are preserved).
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut d = DynGraph::new(g.num_nodes());
+        d.edges.reserve(g.num_edges());
+        d.index.reserve(g.num_edges());
+        for e in g.edges() {
+            let id = d.edges.len() as u32;
+            d.edges.push(Some(*e));
+            d.adj[e.u.index()].push((e.v.raw(), id));
+            d.adj[e.v.index()].push((e.u.raw(), id));
+            d.index.insert((e.u.raw(), e.v.raw()), id);
+        }
+        d.live_edges = g.num_edges();
+        d
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of live edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.live_edges
+    }
+
+    fn canonical(u: NodeId, v: NodeId) -> (u32, u32) {
+        if u.raw() <= v.raw() {
+            (u.raw(), v.raw())
+        } else {
+            (v.raw(), u.raw())
+        }
+    }
+
+    fn check_node(&self, u: NodeId) -> Result<()> {
+        if u.index() >= self.n {
+            return Err(GraphError::NodeOutOfBounds {
+                node: u.index(),
+                num_nodes: self.n,
+            });
+        }
+        Ok(())
+    }
+
+    /// Inserts the edge `{u, v}` with weight `w`, or adds `w` onto the
+    /// existing edge. Returns the edge id and whether a new edge was
+    /// created.
+    ///
+    /// # Errors
+    /// [`GraphError::NodeOutOfBounds`] for bad endpoints;
+    /// [`GraphError::InvalidEdge`] for self-loops or non-positive/non-finite
+    /// weights.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) -> Result<(EdgeId, bool)> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::InvalidEdge("self-loop".into()));
+        }
+        if !(w > 0.0) || !w.is_finite() {
+            return Err(GraphError::InvalidEdge(format!(
+                "weight must be positive and finite, got {w}"
+            )));
+        }
+        let key = Self::canonical(u, v);
+        if let Some(&id) = self.index.get(&key) {
+            let e = self.edges[id as usize]
+                .as_mut()
+                .expect("indexed edge must be live");
+            e.weight += w;
+            return Ok((EdgeId::from(id), false));
+        }
+        let id = self.edges.len() as u32;
+        self.edges.push(Some(Edge::new(u, v, w)));
+        self.adj[u.index()].push((v.raw(), id));
+        self.adj[v.index()].push((u.raw(), id));
+        self.index.insert(key, id);
+        self.live_edges += 1;
+        Ok((EdgeId::from(id), true))
+    }
+
+    /// Adds `dw` onto an existing edge's weight.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidEdge`] if the id is dead/out of range or the
+    /// resulting weight would be non-positive.
+    pub fn add_weight(&mut self, e: EdgeId, dw: f64) -> Result<()> {
+        let slot = self
+            .edges
+            .get_mut(e.index())
+            .and_then(|s| s.as_mut())
+            .ok_or_else(|| GraphError::InvalidEdge(format!("edge {e} does not exist")))?;
+        let new_w = slot.weight + dw;
+        if !(new_w > 0.0) || !new_w.is_finite() {
+            return Err(GraphError::InvalidEdge(format!(
+                "weight update would make weight {new_w}"
+            )));
+        }
+        slot.weight = new_w;
+        Ok(())
+    }
+
+    /// The edge with id `e`, if live.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> Option<Edge> {
+        self.edges.get(e.index()).and_then(|s| *s)
+    }
+
+    /// The id of the edge `{u, v}`, if present.
+    pub fn edge_id(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        self.index
+            .get(&Self::canonical(u, v))
+            .map(|&id| EdgeId::from(id))
+    }
+
+    /// Weight of the edge `{u, v}`, if present.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.edge_id(u, v).and_then(|e| self.edge(e)).map(|e| e.weight)
+    }
+
+    /// Live neighbours of `u` as `(neighbour, edge id, weight)`.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of bounds.
+    pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = (NodeId, EdgeId, f64)> + '_ {
+        self.adj[u.index()].iter().filter_map(move |&(v, id)| {
+            self.edges[id as usize]
+                .map(|e| (NodeId::from(v), EdgeId::from(id), e.weight))
+        })
+    }
+
+    /// Live degree of `u`.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.neighbors(u).count()
+    }
+
+    /// Iterator over live edges as `(id, edge)`.
+    pub fn edges_iter(&self) -> impl Iterator<Item = (EdgeId, Edge)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|e| (EdgeId::new(i), e)))
+    }
+
+    /// Sum of live edge weights.
+    pub fn total_weight(&self) -> f64 {
+        self.edges_iter().map(|(_, e)| e.weight).sum()
+    }
+
+    /// Removes the edge `{u, v}` and returns its weight.
+    ///
+    /// Future-work hook: the inGRASS update phase never deletes, but the
+    /// surrounding tooling (and eventual deletion support) needs this.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Option<f64> {
+        let key = Self::canonical(u, v);
+        let id = self.index.remove(&key)?;
+        let e = self.edges[id as usize].take()?;
+        self.adj[u.index()].retain(|&(_, i)| i != id);
+        self.adj[v.index()].retain(|&(_, i)| i != id);
+        self.live_edges -= 1;
+        Some(e.weight)
+    }
+
+    /// Snapshots into an immutable [`Graph`].
+    ///
+    /// Edge ids are *not* preserved (dead slots are compacted); use the
+    /// returned graph for matrix export and measurement, not for id-based
+    /// bookkeeping.
+    pub fn to_graph(&self) -> Graph {
+        let edges: Vec<Edge> = self.edges_iter().map(|(_, e)| e).collect();
+        Graph::from_canonical_edges(self.n, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_merge_and_query() {
+        let mut h = DynGraph::new(4);
+        let (e, created) = h.add_edge(0.into(), 1.into(), 1.5).unwrap();
+        assert!(created);
+        assert_eq!(h.num_edges(), 1);
+        let (e2, created2) = h.add_edge(1.into(), 0.into(), 0.5).unwrap();
+        assert!(!created2);
+        assert_eq!(e, e2);
+        assert_eq!(h.edge_weight(0.into(), 1.into()), Some(2.0));
+        assert_eq!(h.edge(e).unwrap().weight, 2.0);
+        assert_eq!(h.degree(0.into()), 1);
+    }
+
+    #[test]
+    fn add_weight_updates_edge() {
+        let mut h = DynGraph::new(2);
+        let (e, _) = h.add_edge(0.into(), 1.into(), 1.0).unwrap();
+        h.add_weight(e, 2.5).unwrap();
+        assert_eq!(h.edge_weight(0.into(), 1.into()), Some(3.5));
+        assert!(h.add_weight(e, -10.0).is_err());
+        assert!(h.add_weight(EdgeId::new(99), 1.0).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_inserts() {
+        let mut h = DynGraph::new(2);
+        assert!(h.add_edge(0.into(), 0.into(), 1.0).is_err());
+        assert!(h.add_edge(0.into(), 5.into(), 1.0).is_err());
+        assert!(h.add_edge(0.into(), 1.into(), 0.0).is_err());
+        assert!(h.add_edge(0.into(), 1.into(), f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn from_graph_preserves_ids_and_weights() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]).unwrap();
+        let h = DynGraph::from_graph(&g);
+        assert_eq!(h.num_edges(), 3);
+        for (i, e) in g.edges().iter().enumerate() {
+            assert_eq!(h.edge(EdgeId::new(i)).unwrap(), *e);
+        }
+    }
+
+    #[test]
+    fn remove_edge_and_tombstones() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)]).unwrap();
+        let mut h = DynGraph::from_graph(&g);
+        assert_eq!(h.remove_edge(0.into(), 1.into()), Some(1.0));
+        assert_eq!(h.remove_edge(0.into(), 1.into()), None);
+        assert_eq!(h.num_edges(), 1);
+        assert_eq!(h.edge(EdgeId::new(0)), None);
+        assert_eq!(h.degree(0.into()), 0);
+        // Re-inserting creates a fresh id.
+        let (e, created) = h.add_edge(0.into(), 1.into(), 5.0).unwrap();
+        assert!(created);
+        assert_eq!(e, EdgeId::new(2));
+    }
+
+    #[test]
+    fn to_graph_round_trips_weights() {
+        let mut h = DynGraph::new(3);
+        h.add_edge(0.into(), 1.into(), 1.0).unwrap();
+        h.add_edge(1.into(), 2.into(), 2.0).unwrap();
+        h.remove_edge(0.into(), 1.into());
+        let g = h.to_graph();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(1.into(), 2.into()), Some(2.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dyngraph_matches_builder_semantics(
+            ops in proptest::collection::vec((0usize..8, 0usize..8, 0.1f64..5.0), 1..50),
+        ) {
+            // Applying the same inserts to DynGraph and GraphBuilder must
+            // produce identical graphs.
+            let mut h = DynGraph::new(8);
+            let mut edges = Vec::new();
+            for (u, v, w) in ops {
+                if u != v {
+                    h.add_edge(u.into(), v.into(), w).unwrap();
+                    edges.push((u, v, w));
+                }
+            }
+            let g = Graph::from_edges(8, &edges).unwrap();
+            let hg = h.to_graph();
+            prop_assert_eq!(g.num_edges(), hg.num_edges());
+            for e in g.edges() {
+                let w = hg.edge_weight(e.u, e.v).unwrap();
+                prop_assert!((w - e.weight).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction and algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// The operation requires a connected graph.
+    Disconnected {
+        /// Number of connected components found.
+        components: usize,
+    },
+    /// The graph has no nodes.
+    Empty,
+    /// A node id is out of bounds.
+    NodeOutOfBounds {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// An edge is invalid (non-positive or non-finite weight, etc.).
+    InvalidEdge(String),
+    /// A parent array does not describe a valid rooted tree.
+    MalformedTree(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Disconnected { components } => {
+                write!(f, "graph is disconnected ({components} components)")
+            }
+            GraphError::Empty => write!(f, "graph has no nodes"),
+            GraphError::NodeOutOfBounds { node, num_nodes } => {
+                write!(f, "node {node} out of bounds (graph has {num_nodes} nodes)")
+            }
+            GraphError::InvalidEdge(msg) => write!(f, "invalid edge: {msg}"),
+            GraphError::MalformedTree(msg) => write!(f, "malformed tree: {msg}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_specifics() {
+        let e = GraphError::Disconnected { components: 3 };
+        assert!(e.to_string().contains('3'));
+        let e = GraphError::NodeOutOfBounds {
+            node: 9,
+            num_nodes: 5,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,221 @@
+//! Strongly-typed node and edge identifiers.
+
+use std::fmt;
+
+/// Identifier of a node (vertex) in a graph.
+///
+/// A thin `u32` newtype: node ids are array indices everywhere in this
+/// workspace, and the newtype keeps them from being confused with edge ids
+/// or cluster ids.
+///
+/// # Example
+/// ```
+/// use ingrass_graph::NodeId;
+/// let u = NodeId::new(3);
+/// assert_eq!(u.index(), 3);
+/// assert_eq!(u, 3.into());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from an index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "node index overflows u32");
+        NodeId(index as u32)
+    }
+
+    /// The id as a `usize` array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId::new(v)
+    }
+}
+
+impl From<i32> for NodeId {
+    /// Conversion from literals for ergonomics (`0.into()`).
+    ///
+    /// # Panics
+    /// Panics if `v` is negative.
+    fn from(v: i32) -> Self {
+        assert!(v >= 0, "node index must be non-negative");
+        NodeId(v as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of an (undirected) edge in a graph.
+///
+/// Edge ids are stable: [`crate::DynGraph`] never reuses them, so they can be
+/// held across incremental updates (inGRASS stores a *representative edge id*
+/// per connected cluster pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge id from an index.
+    ///
+    /// # Panics
+    /// Panics (in debug) if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "edge index overflows u32");
+        EdgeId(index as u32)
+    }
+
+    /// The id as a `usize` array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(v: usize) -> Self {
+        EdgeId::new(v)
+    }
+}
+
+impl From<i32> for EdgeId {
+    /// Conversion from literals for ergonomics (`0.into()`).
+    ///
+    /// # Panics
+    /// Panics if `v` is negative.
+    fn from(v: i32) -> Self {
+        assert!(v >= 0, "edge index must be non-negative");
+        EdgeId(v as u32)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A weighted undirected edge.
+///
+/// Stored in canonical orientation `u < v`; the weight is a positive
+/// conductance (resistance is `1/weight`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub u: NodeId,
+    /// Larger endpoint.
+    pub v: NodeId,
+    /// Positive weight (conductance).
+    pub weight: f64,
+}
+
+impl Edge {
+    /// Creates an edge, canonicalising the endpoint order.
+    pub fn new(u: NodeId, v: NodeId, weight: f64) -> Self {
+        if u <= v {
+            Edge { u, v, weight }
+        } else {
+            Edge { u: v, v: u, weight }
+        }
+    }
+
+    /// The edge's resistance `1/weight`.
+    #[inline]
+    pub fn resistance(&self) -> f64 {
+        1.0 / self.weight
+    }
+
+    /// The endpoint opposite to `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(&self, x: NodeId) -> NodeId {
+        if x == self.u {
+            self.v
+        } else {
+            assert_eq!(x, self.v, "node {x} is not an endpoint");
+            self.u
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} — {}, w={})", self.u, self.v, self.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips() {
+        let u = NodeId::new(42);
+        assert_eq!(u.index(), 42);
+        assert_eq!(u.raw(), 42);
+        assert_eq!(NodeId::from(42u32), u);
+        assert_eq!(NodeId::from(42usize), u);
+        assert_eq!(u.to_string(), "n42");
+    }
+
+    #[test]
+    fn edge_canonicalises_order() {
+        let e = Edge::new(5.into(), 2.into(), 1.5);
+        assert_eq!(e.u, NodeId::new(2));
+        assert_eq!(e.v, NodeId::new(5));
+        assert_eq!(e.other(2.into()), NodeId::new(5));
+        assert_eq!(e.other(5.into()), NodeId::new(2));
+    }
+
+    #[test]
+    fn edge_resistance_is_reciprocal_weight() {
+        let e = Edge::new(0.into(), 1.into(), 4.0);
+        assert_eq!(e.resistance(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_panics_for_non_endpoint() {
+        let e = Edge::new(0.into(), 1.into(), 1.0);
+        e.other(2.into());
+    }
+}

@@ -1,0 +1,195 @@
+//! Lowest common ancestor via Euler tour + sparse-table RMQ.
+
+use crate::ids::NodeId;
+use crate::tree::Tree;
+
+/// Constant-time lowest-common-ancestor queries on a [`Tree`].
+///
+/// Preprocessing is `O(n log n)` (Euler tour of length `2n − 1` plus a
+/// sparse table of range-minimum-by-depth); each query is `O(1)`. This is
+/// the classic reduction used to evaluate tree-path resistances for all
+/// off-tree edges in near-linear total time.
+///
+/// # Example
+/// ```
+/// use ingrass_graph::{Tree, LcaIndex, NodeId};
+/// // Root 0; 1 and 2 are children of 0; 3 is a child of 1.
+/// let t = Tree::from_parent(0.into(), vec![0, 0, 0, 1], vec![0.0, 1.0, 1.0, 1.0]).unwrap();
+/// let lca = LcaIndex::new(&t);
+/// assert_eq!(lca.lca(3.into(), 2.into()), NodeId::new(0));
+/// assert_eq!(lca.lca(3.into(), 1.into()), NodeId::new(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LcaIndex {
+    /// Euler tour: node at each tour position.
+    euler: Vec<u32>,
+    /// Depth of the node at each tour position.
+    euler_depth: Vec<u32>,
+    /// First tour position of each node.
+    first: Vec<u32>,
+    /// Sparse table: `table[k][i]` = position of the min-depth entry in
+    /// `euler[i .. i + 2^k]`.
+    table: Vec<Vec<u32>>,
+}
+
+impl LcaIndex {
+    /// Builds the index for `tree`.
+    pub fn new(tree: &Tree) -> Self {
+        let n = tree.num_nodes();
+        let mut euler = Vec::with_capacity(2 * n);
+        let mut euler_depth = Vec::with_capacity(2 * n);
+        let mut first = vec![u32::MAX; n];
+
+        // Iterative Euler tour: push (node, next-child-index) frames.
+        let root = tree.root();
+        let mut stack: Vec<(u32, usize)> = vec![(root.raw(), 0)];
+        while let Some(&mut (u, ref mut ci)) = stack.last_mut() {
+            let node = NodeId::from(u);
+            if *ci == 0 {
+                first[u as usize] = euler.len() as u32;
+            }
+            euler.push(u);
+            euler_depth.push(tree.depth(node));
+            let kids = tree.children(node);
+            if *ci < kids.len() {
+                let c = kids[*ci];
+                *ci += 1;
+                stack.push((c, 0));
+            } else {
+                stack.pop();
+                // Re-visit the parent when returning (handled by the parent's
+                // next loop iteration pushing it again via euler.push above).
+            }
+        }
+
+        // Sparse table over euler_depth.
+        let m = euler.len();
+        let levels = (usize::BITS - m.leading_zeros()) as usize; // ⌈log2 m⌉ + 1
+        let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        table.push((0..m as u32).collect());
+        let mut k = 1usize;
+        while (1 << k) <= m {
+            let half = 1 << (k - 1);
+            let prev = &table[k - 1];
+            let mut row = Vec::with_capacity(m - (1 << k) + 1);
+            for i in 0..=(m - (1 << k)) {
+                let a = prev[i];
+                let b = prev[i + half];
+                row.push(if euler_depth[a as usize] <= euler_depth[b as usize] {
+                    a
+                } else {
+                    b
+                });
+            }
+            table.push(row);
+            k += 1;
+        }
+
+        LcaIndex {
+            euler,
+            euler_depth,
+            first,
+            table,
+        }
+    }
+
+    /// The lowest common ancestor of `u` and `v`.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of bounds.
+    pub fn lca(&self, u: NodeId, v: NodeId) -> NodeId {
+        let (mut a, mut b) = (
+            self.first[u.index()] as usize,
+            self.first[v.index()] as usize,
+        );
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let len = b - a + 1;
+        let k = (usize::BITS - 1 - len.leading_zeros()) as usize; // ⌊log2 len⌋
+        let x = self.table[k][a];
+        let y = self.table[k][b + 1 - (1 << k)];
+        let pos = if self.euler_depth[x as usize] <= self.euler_depth[y as usize] {
+            x
+        } else {
+            y
+        };
+        NodeId::from(self.euler[pos as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Naive LCA by walking up parents.
+    fn naive_lca(t: &Tree, mut u: NodeId, mut v: NodeId) -> NodeId {
+        while t.depth(u) > t.depth(v) {
+            u = t.parent(u).unwrap();
+        }
+        while t.depth(v) > t.depth(u) {
+            v = t.parent(v).unwrap();
+        }
+        while u != v {
+            u = t.parent(u).unwrap();
+            v = t.parent(v).unwrap();
+        }
+        u
+    }
+
+    fn chain(n: usize) -> Tree {
+        let parent: Vec<u32> = (0..n).map(|i| if i == 0 { 0 } else { i as u32 - 1 }).collect();
+        let weight: Vec<f64> = vec![1.0; n];
+        Tree::from_parent(0.into(), parent, weight).unwrap()
+    }
+
+    #[test]
+    fn lca_on_chain() {
+        let t = chain(10);
+        let idx = LcaIndex::new(&t);
+        assert_eq!(idx.lca(9.into(), 4.into()), NodeId::new(4));
+        assert_eq!(idx.lca(3.into(), 3.into()), NodeId::new(3));
+        assert_eq!(idx.lca(0.into(), 9.into()), NodeId::new(0));
+    }
+
+    #[test]
+    fn lca_on_balanced_binary_tree() {
+        // Nodes 0..7: node i has parent (i-1)/2.
+        let parent: Vec<u32> = (0..7).map(|i: u32| if i == 0 { 0 } else { (i - 1) / 2 }).collect();
+        let t = Tree::from_parent(0.into(), parent, vec![1.0; 7]).unwrap();
+        let idx = LcaIndex::new(&t);
+        assert_eq!(idx.lca(3.into(), 4.into()), NodeId::new(1));
+        assert_eq!(idx.lca(3.into(), 5.into()), NodeId::new(0));
+        assert_eq!(idx.lca(5.into(), 6.into()), NodeId::new(2));
+        assert_eq!(idx.lca(1.into(), 3.into()), NodeId::new(1));
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = Tree::from_parent(0.into(), vec![0], vec![0.0]).unwrap();
+        let idx = LcaIndex::new(&t);
+        assert_eq!(idx.lca(0.into(), 0.into()), NodeId::new(0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_naive_on_random_trees(
+            shape in proptest::collection::vec(0usize..1000, 2..64),
+            queries in proptest::collection::vec((0usize..64, 0usize..64), 1..50),
+        ) {
+            // parent[i] = random node < i gives a valid random tree.
+            let n = shape.len() + 1;
+            let mut parent = vec![0u32];
+            for (i, r) in shape.iter().enumerate() {
+                parent.push((r % (i + 1)) as u32);
+            }
+            let t = Tree::from_parent(0.into(), parent, vec![1.0; n]).unwrap();
+            let idx = LcaIndex::new(&t);
+            for (a, b) in queries {
+                let (u, v) = (NodeId::new(a % n), NodeId::new(b % n));
+                prop_assert_eq!(idx.lca(u, v), naive_lca(&t, u, v));
+            }
+        }
+    }
+}

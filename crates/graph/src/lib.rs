@@ -1,0 +1,73 @@
+//! Graph substrate for the inGRASS reproduction.
+//!
+//! Everything the sparsification algorithms need from a graph library, built
+//! from scratch:
+//!
+//! * [`Graph`] — an immutable weighted undirected graph in CSR adjacency
+//!   form, with Laplacian/adjacency matrix export (via `ingrass-linalg`).
+//! * [`DynGraph`] — a mutable graph with stable edge ids supporting the
+//!   incremental operations inGRASS performs on the sparsifier: insert edge,
+//!   add weight to an existing edge, query edge between endpoints.
+//! * [`Tree`] / [`TreeResult`] — rooted spanning trees with parent arrays and
+//!   preorder, produced by [`kruskal_tree`] (max/min weight),
+//!   [`effective_weight_tree`] (feGRASS-flavoured) and [`low_stretch_tree`]
+//!   (AKPW/MPX-flavoured ball-growing).
+//! * [`LcaIndex`] — Euler tour + sparse-table lowest common ancestor in
+//!   `O(1)` per query.
+//! * [`TreePathResistance`] — tree-path effective resistances and the
+//!   *spectral distortion* `w(e)·R_tree(e)` that drives GRASS-style off-tree
+//!   edge ranking.
+//! * [`TreeLaplacianSolver`] / [`TreePrecond`] — exact `O(n)` solves with a
+//!   spanning-tree Laplacian, used as the support-graph preconditioner for CG
+//!   on full graph Laplacians.
+//! * [`quotient_graph`] — cluster contraction with conductance-summing of
+//!   parallel edges, used by the low-stretch tree recursion and mirrored by
+//!   the LRD decomposition in the core crate.
+//!
+//! # Example
+//!
+//! ```
+//! use ingrass_graph::{Graph, kruskal_tree, TreeObjective, TreePathResistance};
+//!
+//! // A weighted triangle.
+//! let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 0.5)]).unwrap();
+//! let t = kruskal_tree(&g, TreeObjective::MaxWeight).unwrap();
+//! // The max-weight tree keeps the two unit edges.
+//! assert_eq!(t.in_tree.iter().filter(|&&b| b).count(), 2);
+//! let res = TreePathResistance::new(&g, &t.tree);
+//! // Tree-path resistance between 0 and 2 goes through node 1: 1 + 1 = 2.
+//! assert!((res.resistance(0.into(), 2.into()) - 2.0).abs() < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+
+mod contract;
+mod dsu;
+mod dyngraph;
+mod error;
+mod graph;
+mod ids;
+mod lca;
+mod lsst;
+mod mst;
+mod traversal;
+mod tree;
+mod treeres;
+mod treesolve;
+
+pub use contract::quotient_graph;
+pub use dsu::DisjointSets;
+pub use dyngraph::DynGraph;
+pub use error::GraphError;
+pub use graph::{Adjacency, Graph, GraphBuilder};
+pub use ids::{Edge, EdgeId, NodeId};
+pub use lca::LcaIndex;
+pub use lsst::{effective_weight_tree, low_stretch_tree};
+pub use mst::{kruskal_tree, TreeObjective};
+pub use traversal::{bfs_order, connected_components, is_connected};
+pub use tree::{Tree, TreeResult};
+pub use treeres::TreePathResistance;
+pub use treesolve::{TreeLaplacianSolver, TreePrecond};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,209 @@
+//! Kruskal spanning trees.
+
+use crate::dsu::DisjointSets;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::tree::{Tree, TreeResult};
+use crate::Result;
+use std::collections::VecDeque;
+
+/// Objective for [`kruskal_tree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeObjective {
+    /// Maximise total edge weight — keeps high-conductance edges, the
+    /// standard backbone for GRASS-style sparsifiers.
+    MaxWeight,
+    /// Minimise total edge weight.
+    MinWeight,
+}
+
+/// Builds a rooted [`Tree`] over the tree-edge mask via BFS from `root`.
+///
+/// Shared by every spanning-tree construction in this crate.
+pub(crate) fn rooted_from_mask(g: &Graph, in_tree: &[bool], root: NodeId) -> Result<Tree> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    let mut parent_weight = vec![0.0; n];
+    let mut seen = vec![false; n];
+    seen[root.index()] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(root);
+    let mut visited = 1usize;
+    while let Some(u) = queue.pop_front() {
+        for a in g.neighbors(u) {
+            if in_tree[a.edge.index()] && !seen[a.to.index()] {
+                seen[a.to.index()] = true;
+                parent[a.to.index()] = u.raw();
+                parent_weight[a.to.index()] = a.weight;
+                visited += 1;
+                queue.push_back(a.to);
+            }
+        }
+    }
+    if visited != n {
+        // Count components for the error message.
+        let (components, _) = crate::traversal::connected_components(g);
+        return Err(GraphError::Disconnected {
+            components: components.max(2),
+        });
+    }
+    Tree::from_parent(root, parent, parent_weight)
+}
+
+/// Kruskal's algorithm: a spanning tree optimising `objective`.
+///
+/// Runs in `O(m log m)`. Ties are broken by edge id, so the result is
+/// deterministic.
+///
+/// # Errors
+/// [`GraphError::Empty`] for a graph without nodes;
+/// [`GraphError::Disconnected`] if no spanning tree exists.
+pub fn kruskal_tree(g: &Graph, objective: TreeObjective) -> Result<TreeResult> {
+    if g.num_nodes() == 0 {
+        return Err(GraphError::Empty);
+    }
+    let mut order: Vec<usize> = (0..g.num_edges()).collect();
+    match objective {
+        TreeObjective::MaxWeight => {
+            order.sort_by(|&a, &b| {
+                g.edges()[b]
+                    .weight
+                    .partial_cmp(&g.edges()[a].weight)
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+        }
+        TreeObjective::MinWeight => {
+            order.sort_by(|&a, &b| {
+                g.edges()[a]
+                    .weight
+                    .partial_cmp(&g.edges()[b].weight)
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+        }
+    }
+    let mut dsu = DisjointSets::new(g.num_nodes());
+    let mut in_tree = vec![false; g.num_edges()];
+    let mut picked = 0usize;
+    for e in order {
+        let edge = &g.edges()[e];
+        if dsu.union(edge.u.index(), edge.v.index()) {
+            in_tree[e] = true;
+            picked += 1;
+            if picked + 1 == g.num_nodes() {
+                break;
+            }
+        }
+    }
+    if picked + 1 != g.num_nodes() {
+        return Err(GraphError::Disconnected {
+            components: dsu.num_sets(),
+        });
+    }
+    let tree = rooted_from_mask(g, &in_tree, NodeId::new(0))?;
+    Ok(TreeResult { tree, in_tree })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn max_weight_tree_prefers_heavy_edges() {
+        // Square with a heavy diagonal.
+        let g = Graph::from_edges(
+            4,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 0, 1.0),
+                (0, 2, 10.0),
+            ],
+        )
+        .unwrap();
+        let t = kruskal_tree(&g, TreeObjective::MaxWeight).unwrap();
+        // Heavy diagonal must be in the tree (ids follow canonical order,
+        // so look it up by weight).
+        let diag = g.edges().iter().position(|e| e.weight == 10.0).unwrap();
+        assert!(t.in_tree[diag]);
+        assert_eq!(t.in_tree.iter().filter(|&&b| b).count(), 3);
+        assert_eq!(t.off_tree_edges().len(), 2);
+    }
+
+    #[test]
+    fn min_weight_tree_avoids_heavy_edges() {
+        let g = Graph::from_edges(
+            4,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 0, 1.0),
+                (0, 2, 10.0),
+            ],
+        )
+        .unwrap();
+        let t = kruskal_tree(&g, TreeObjective::MinWeight).unwrap();
+        let diag = g.edges().iter().position(|e| e.weight == 10.0).unwrap();
+        assert!(!t.in_tree[diag]);
+    }
+
+    #[test]
+    fn disconnected_graph_errors() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        assert!(matches!(
+            kruskal_tree(&g, TreeObjective::MaxWeight),
+            Err(GraphError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn single_node_graph_gives_trivial_tree() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        let t = kruskal_tree(&g, TreeObjective::MaxWeight).unwrap();
+        assert_eq!(t.tree.num_nodes(), 1);
+        assert_eq!(t.tree.edges().count(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_kruskal_yields_spanning_tree(
+            extra in proptest::collection::vec((0usize..15, 0usize..15, 0.1f64..10.0), 0..40),
+        ) {
+            // Guarantee connectivity with a path, then add random edges.
+            let mut edges: Vec<(usize, usize, f64)> =
+                (0..14).map(|i| (i, i + 1, 1.0 + i as f64 * 0.1)).collect();
+            edges.extend(extra);
+            let g = Graph::from_edges(15, &edges).unwrap();
+            let t = kruskal_tree(&g, TreeObjective::MaxWeight).unwrap();
+            prop_assert_eq!(t.in_tree.iter().filter(|&&b| b).count(), 14);
+            prop_assert_eq!(t.tree.num_nodes(), 15);
+            // Every tree edge must exist in the graph with matching weight.
+            for (u, p, w) in t.tree.edges() {
+                prop_assert_eq!(g.edge_weight(u, p), Some(w));
+            }
+        }
+
+        #[test]
+        fn prop_max_tree_weight_geq_min_tree_weight(
+            extra in proptest::collection::vec((0usize..10, 0usize..10, 0.1f64..10.0), 0..30),
+        ) {
+            let mut edges: Vec<(usize, usize, f64)> =
+                (0..9).map(|i| (i, i + 1, 1.0)).collect();
+            edges.extend(extra);
+            let g = Graph::from_edges(10, &edges).unwrap();
+            let tmax = kruskal_tree(&g, TreeObjective::MaxWeight).unwrap();
+            let tmin = kruskal_tree(&g, TreeObjective::MinWeight).unwrap();
+            let wmax: f64 = tmax.tree.edges().map(|(_, _, w)| w).sum();
+            let wmin: f64 = tmin.tree.edges().map(|(_, _, w)| w).sum();
+            prop_assert!(wmax >= wmin - 1e-12);
+        }
+    }
+}

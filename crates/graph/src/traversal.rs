@@ -1,0 +1,97 @@
+//! Breadth-first traversal and connectivity.
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// Breadth-first order of the nodes reachable from `start`.
+///
+/// # Panics
+/// Panics if `start` is out of bounds.
+pub fn bfs_order(g: &Graph, start: NodeId) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    assert!(start.index() < n, "start node out of bounds");
+    let mut seen = vec![false; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for a in g.neighbors(u) {
+            if !seen[a.to.index()] {
+                seen[a.to.index()] = true;
+                queue.push_back(a.to);
+            }
+        }
+    }
+    order
+}
+
+/// Connected components: returns `(count, label per node)`.
+///
+/// Labels are dense in `0..count`, assigned in order of first discovery.
+pub fn connected_components(g: &Graph) -> (usize, Vec<u32>) {
+    let n = g.num_nodes();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if label[s] != u32::MAX {
+            continue;
+        }
+        label[s] = count;
+        queue.push_back(NodeId::new(s));
+        while let Some(u) = queue.pop_front() {
+            for a in g.neighbors(u) {
+                let t = a.to.index();
+                if label[t] == u32::MAX {
+                    label[t] = count;
+                    queue.push_back(a.to);
+                }
+            }
+        }
+        count += 1;
+    }
+    (count as usize, label)
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.num_nodes() == 0 || connected_components(g).0 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_visits_reachable_nodes_level_by_level() {
+        // Path 0-1-2-3.
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let order = bfs_order(&g, 0.into());
+        assert_eq!(order, vec![0.into(), 1.into(), 2.into(), 3.into()]);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = Graph::from_edges(5, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let (count, labels) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[4]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn connected_cases() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        assert!(is_connected(&g));
+        let empty = Graph::from_edges(0, &[]).unwrap();
+        assert!(is_connected(&empty));
+        let single = Graph::from_edges(1, &[]).unwrap();
+        assert!(is_connected(&single));
+    }
+}

@@ -1,0 +1,286 @@
+//! Rooted spanning trees.
+
+use crate::error::GraphError;
+use crate::ids::NodeId;
+use crate::Result;
+
+/// A rooted spanning tree over nodes `0..n`, stored as a parent array.
+///
+/// Produced by [`crate::kruskal_tree`], [`crate::effective_weight_tree`] and
+/// [`crate::low_stretch_tree`]; consumed by the LCA index, the tree-path
+/// resistance oracle and the tree Laplacian solver.
+///
+/// Invariants (validated at construction): exactly one root with
+/// `parent[root] == root`, every node reaches the root, and every non-root
+/// parent edge has positive weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tree {
+    root: NodeId,
+    parent: Vec<u32>,
+    parent_weight: Vec<f64>,
+    preorder: Vec<u32>,
+    depth: Vec<u32>,
+    child_ptr: Vec<usize>,
+    children: Vec<u32>,
+}
+
+impl Tree {
+    /// Builds a tree from a parent array.
+    ///
+    /// `parent[u]` is the parent of `u` (with `parent[root] == root`), and
+    /// `parent_weight[u]` the weight of the edge `{u, parent[u]}` (ignored
+    /// for the root).
+    ///
+    /// # Errors
+    /// [`GraphError::MalformedTree`] if there is not exactly one root, if a
+    /// cycle is present, if the arrays disagree in length, or if an edge
+    /// weight is non-positive.
+    pub fn from_parent(root: NodeId, parent: Vec<u32>, parent_weight: Vec<f64>) -> Result<Self> {
+        let n = parent.len();
+        if parent_weight.len() != n {
+            return Err(GraphError::MalformedTree(format!(
+                "parent ({n}) and weight ({}) arrays differ in length",
+                parent_weight.len()
+            )));
+        }
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+        if root.index() >= n {
+            return Err(GraphError::NodeOutOfBounds {
+                node: root.index(),
+                num_nodes: n,
+            });
+        }
+        if parent[root.index()] != root.raw() {
+            return Err(GraphError::MalformedTree(
+                "parent[root] must equal root".into(),
+            ));
+        }
+        for (u, &p) in parent.iter().enumerate() {
+            if p as usize >= n {
+                return Err(GraphError::NodeOutOfBounds {
+                    node: p as usize,
+                    num_nodes: n,
+                });
+            }
+            if u != root.index() && p as usize == u {
+                return Err(GraphError::MalformedTree(format!(
+                    "node {u} is its own parent but is not the root"
+                )));
+            }
+            if u != root.index() && !(parent_weight[u] > 0.0 && parent_weight[u].is_finite()) {
+                return Err(GraphError::MalformedTree(format!(
+                    "edge to parent of node {u} has invalid weight {}",
+                    parent_weight[u]
+                )));
+            }
+        }
+
+        // Children CSR.
+        let mut counts = vec![0usize; n + 1];
+        for (u, &p) in parent.iter().enumerate() {
+            if u != root.index() {
+                counts[p as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut children = vec![0u32; n - 1];
+        let mut cursor = counts.clone();
+        for (u, &p) in parent.iter().enumerate() {
+            if u != root.index() {
+                children[cursor[p as usize]] = u as u32;
+                cursor[p as usize] += 1;
+            }
+        }
+
+        // Preorder + depth via explicit stack; also detects unreachable nodes
+        // (which imply cycles among non-root nodes).
+        let mut preorder = Vec::with_capacity(n);
+        let mut depth = vec![u32::MAX; n];
+        let mut stack = vec![root.raw()];
+        depth[root.index()] = 0;
+        while let Some(u) = stack.pop() {
+            preorder.push(u);
+            let (lo, hi) = (counts[u as usize], counts[u as usize + 1]);
+            for &c in &children[lo..hi] {
+                depth[c as usize] = depth[u as usize] + 1;
+                stack.push(c);
+            }
+        }
+        if preorder.len() != n {
+            return Err(GraphError::MalformedTree(format!(
+                "only {} of {n} nodes reachable from the root (cycle or forest)",
+                preorder.len()
+            )));
+        }
+
+        Ok(Tree {
+            root,
+            parent,
+            parent_weight,
+            preorder,
+            depth,
+            child_ptr: counts,
+            children,
+        })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The parent of `u`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, u: NodeId) -> Option<NodeId> {
+        if u == self.root {
+            None
+        } else {
+            Some(NodeId::from(self.parent[u.index()]))
+        }
+    }
+
+    /// Weight of the edge from `u` to its parent.
+    ///
+    /// # Panics
+    /// Panics if `u` is the root.
+    #[inline]
+    pub fn parent_weight(&self, u: NodeId) -> f64 {
+        assert!(u != self.root, "the root has no parent edge");
+        self.parent_weight[u.index()]
+    }
+
+    /// Depth of `u` (root has depth 0).
+    #[inline]
+    pub fn depth(&self, u: NodeId) -> u32 {
+        self.depth[u.index()]
+    }
+
+    /// Nodes in preorder: every parent precedes its children.
+    #[inline]
+    pub fn preorder(&self) -> &[u32] {
+        &self.preorder
+    }
+
+    /// The children of `u`.
+    #[inline]
+    pub fn children(&self, u: NodeId) -> &[u32] {
+        &self.children[self.child_ptr[u.index()]..self.child_ptr[u.index() + 1]]
+    }
+
+    /// Iterator over the `n − 1` tree edges as `(child, parent, weight)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        (0..self.num_nodes()).filter_map(move |u| {
+            let u = NodeId::new(u);
+            self.parent(u).map(|p| (u, p, self.parent_weight[u.index()]))
+        })
+    }
+
+    /// Sum over nodes of `1/parent_weight` — total tree resistance, a cheap
+    /// sanity statistic used in tests and reports.
+    pub fn total_resistance(&self) -> f64 {
+        self.edges().map(|(_, _, w)| 1.0 / w).sum()
+    }
+}
+
+/// A spanning tree together with the per-edge membership mask in the graph
+/// it was extracted from.
+#[derive(Debug, Clone)]
+pub struct TreeResult {
+    /// The spanning tree.
+    pub tree: Tree,
+    /// `in_tree[e]` is `true` iff graph edge `e` is a tree edge.
+    pub in_tree: Vec<bool>,
+}
+
+impl TreeResult {
+    /// Ids of the off-tree edges (complement of the mask).
+    pub fn off_tree_edges(&self) -> Vec<crate::ids::EdgeId> {
+        self.in_tree
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| !t)
+            .map(|(i, _)| crate::ids::EdgeId::new(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star() -> Tree {
+        // Root 0 with children 1, 2, 3.
+        Tree::from_parent(0.into(), vec![0, 0, 0, 0], vec![0.0, 1.0, 2.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn star_structure() {
+        let t = star();
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.root(), NodeId::new(0));
+        assert_eq!(t.parent(0.into()), None);
+        assert_eq!(t.parent(2.into()), Some(0.into()));
+        assert_eq!(t.parent_weight(3.into()), 4.0);
+        assert_eq!(t.depth(0.into()), 0);
+        assert_eq!(t.depth(3.into()), 1);
+        assert_eq!(t.children(0.into()), &[1, 2, 3]);
+        assert_eq!(t.preorder()[0], 0);
+        assert_eq!(t.edges().count(), 3);
+        assert!((t.total_resistance() - (1.0 + 0.5 + 0.25)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn preorder_parents_first() {
+        // Chain 0 <- 1 <- 2 <- 3.
+        let t = Tree::from_parent(0.into(), vec![0, 0, 1, 2], vec![0.0, 1.0, 1.0, 1.0]).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &u) in t.preorder().iter().enumerate() {
+                p[u as usize] = i;
+            }
+            p
+        };
+        for u in 1..4usize {
+            let parent = t.parent(NodeId::new(u)).unwrap();
+            assert!(pos[parent.index()] < pos[u]);
+        }
+    }
+
+    #[test]
+    fn rejects_two_roots() {
+        let err = Tree::from_parent(0.into(), vec![0, 1], vec![0.0, 0.0]);
+        assert!(matches!(err, Err(GraphError::MalformedTree(_))));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        // 1 and 2 point at each other.
+        let err = Tree::from_parent(0.into(), vec![0, 2, 1], vec![0.0, 1.0, 1.0]);
+        assert!(matches!(err, Err(GraphError::MalformedTree(_))));
+    }
+
+    #[test]
+    fn rejects_bad_weight() {
+        let err = Tree::from_parent(0.into(), vec![0, 0], vec![0.0, -1.0]);
+        assert!(matches!(err, Err(GraphError::MalformedTree(_))));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            Tree::from_parent(0.into(), vec![], vec![]),
+            Err(GraphError::Empty)
+        ));
+    }
+}

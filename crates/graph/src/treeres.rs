@@ -1,0 +1,167 @@
+//! Tree-path effective resistance and spectral distortion.
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::lca::LcaIndex;
+use crate::tree::Tree;
+
+/// Oracle for effective resistances *measured along a spanning tree*.
+///
+/// For nodes `u`, `v` the tree-path resistance is
+/// `R_T(u, v) = Σ_{e ∈ path_T(u,v)} 1/w(e)`; for an off-tree edge `e = (u,v)`
+/// the quantity `w(e) · R_T(u, v)` is its *stretch*, which GRASS \[7\] uses as
+/// the spectral-distortion score for ranking off-tree edge candidates
+/// (Lemma 3.2 of the inGRASS paper: distortion `≈ w·R`).
+///
+/// Construction is `O(n log n)` (LCA index + one prefix pass); queries are
+/// `O(1)`.
+///
+/// # Example
+/// ```
+/// use ingrass_graph::{Graph, kruskal_tree, TreeObjective, TreePathResistance};
+/// let g = Graph::from_edges(4, &[(0,1,1.0), (1,2,0.5), (2,3,1.0), (0,3,2.0)]).unwrap();
+/// let t = kruskal_tree(&g, TreeObjective::MaxWeight).unwrap();
+/// let oracle = TreePathResistance::new(&g, &t.tree);
+/// let r = oracle.resistance(0.into(), 2.into());
+/// assert!(r > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreePathResistance {
+    lca: LcaIndex,
+    /// Resistance from each node up to the root.
+    root_resistance: Vec<f64>,
+}
+
+impl TreePathResistance {
+    /// Builds the oracle for `tree` (spanning `graph`'s nodes).
+    ///
+    /// `graph` is only used for a dimension sanity check; the resistances
+    /// come from the tree's own edge weights.
+    ///
+    /// # Panics
+    /// Panics if `graph` and `tree` disagree on the node count.
+    pub fn new(graph: &Graph, tree: &Tree) -> Self {
+        assert_eq!(
+            graph.num_nodes(),
+            tree.num_nodes(),
+            "graph/tree node count mismatch"
+        );
+        Self::from_tree(tree)
+    }
+
+    /// Builds the oracle from a tree alone.
+    pub fn from_tree(tree: &Tree) -> Self {
+        let n = tree.num_nodes();
+        let mut root_resistance = vec![0.0; n];
+        // Preorder guarantees parents are processed before children.
+        for &u in tree.preorder() {
+            let node = NodeId::from(u);
+            if let Some(p) = tree.parent(node) {
+                root_resistance[u as usize] =
+                    root_resistance[p.index()] + 1.0 / tree.parent_weight(node);
+            }
+        }
+        TreePathResistance {
+            lca: LcaIndex::new(tree),
+            root_resistance,
+        }
+    }
+
+    /// Tree-path resistance between `u` and `v`.
+    pub fn resistance(&self, u: NodeId, v: NodeId) -> f64 {
+        let a = self.lca.lca(u, v);
+        self.root_resistance[u.index()] + self.root_resistance[v.index()]
+            - 2.0 * self.root_resistance[a.index()]
+    }
+
+    /// Spectral distortion (stretch) of a candidate edge `(u, v)` with
+    /// weight `w`: `w · R_T(u, v)`.
+    pub fn distortion(&self, u: NodeId, v: NodeId, weight: f64) -> f64 {
+        weight * self.resistance(u, v)
+    }
+
+    /// Distortions of all graph edges, indexed by edge id. Tree edges get
+    /// their exact stretch of 1 (their path is the edge itself) only if the
+    /// tree uses the same weight; in general this evaluates the formula for
+    /// every edge.
+    pub fn edge_distortions(&self, graph: &Graph) -> Vec<f64> {
+        graph
+            .edges()
+            .iter()
+            .map(|e| self.distortion(e.u, e.v, e.weight))
+            .collect()
+    }
+
+    /// Total stretch of the graph w.r.t. the tree — the classic quality
+    /// measure of low-stretch spanning trees.
+    pub fn total_stretch(&self, graph: &Graph) -> f64 {
+        self.edge_distortions(graph).iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mst::{kruskal_tree, TreeObjective};
+    use proptest::prelude::*;
+
+    #[test]
+    fn path_resistance_adds_along_chain() {
+        // Chain 0-1-2-3 with weights 1, 2, 4 (resistances 1, 0.5, 0.25).
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 4.0)]).unwrap();
+        let t = kruskal_tree(&g, TreeObjective::MaxWeight).unwrap();
+        let o = TreePathResistance::new(&g, &t.tree);
+        assert!((o.resistance(0.into(), 3.into()) - 1.75).abs() < 1e-12);
+        assert!((o.resistance(1.into(), 3.into()) - 0.75).abs() < 1e-12);
+        assert!((o.resistance(2.into(), 2.into())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_edges_have_stretch_one() {
+        let g = Graph::from_edges(5, &[(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.0), (3, 4, 5.0)])
+            .unwrap();
+        let t = kruskal_tree(&g, TreeObjective::MaxWeight).unwrap();
+        let o = TreePathResistance::new(&g, &t.tree);
+        for e in g.edges() {
+            assert!((o.distortion(e.u, e.v, e.weight) - 1.0).abs() < 1e-12);
+        }
+        assert!((o.total_stretch(&g) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn off_tree_edge_distortion_is_cycle_ratio() {
+        // Triangle: tree keeps the two heavy edges; the light edge's
+        // distortion is w·(1/2 + 1/2) = 0.5 · 1 = 0.5.
+        let g = Graph::from_edges(3, &[(0, 1, 2.0), (1, 2, 2.0), (0, 2, 0.5)]).unwrap();
+        let t = kruskal_tree(&g, TreeObjective::MaxWeight).unwrap();
+        let o = TreePathResistance::new(&g, &t.tree);
+        assert!((o.distortion(0.into(), 2.into(), 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_resistance_is_a_metric_on_random_trees(
+            shape in proptest::collection::vec((0usize..1000, 0.1f64..10.0), 2..40),
+            queries in proptest::collection::vec((0usize..41, 0usize..41, 0usize..41), 1..20),
+        ) {
+            let n = shape.len() + 1;
+            let mut parent = vec![0u32];
+            let mut weight = vec![0.0f64];
+            for (i, (r, w)) in shape.iter().enumerate() {
+                parent.push((r % (i + 1)) as u32);
+                weight.push(*w);
+            }
+            let t = Tree::from_parent(0.into(), parent, weight).unwrap();
+            let o = TreePathResistance::from_tree(&t);
+            for (a, b, c) in queries {
+                let (u, v, w) = (NodeId::new(a % n), NodeId::new(b % n), NodeId::new(c % n));
+                // Symmetry.
+                prop_assert!((o.resistance(u, v) - o.resistance(v, u)).abs() < 1e-9);
+                // Identity.
+                prop_assert!(o.resistance(u, u).abs() < 1e-12);
+                // Triangle inequality (exact on trees).
+                prop_assert!(o.resistance(u, v) + o.resistance(v, w) >= o.resistance(u, w) - 1e-9);
+            }
+        }
+    }
+}

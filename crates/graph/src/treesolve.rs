@@ -1,0 +1,295 @@
+//! Exact `O(n)` solves with a spanning-tree Laplacian, and the classic
+//! support-graph (tree) preconditioner built on top of them.
+
+use crate::tree::Tree;
+use ingrass_linalg::Preconditioner;
+
+/// Solves `L_T x = b` exactly in `O(n)` for the Laplacian of a spanning
+/// tree `T`.
+///
+/// For a consistent right-hand side (`Σ b_i = 0`) the solution is computed by
+/// interpreting `b` as node current injections: an up-sweep (reverse
+/// preorder) accumulates the branch current through every tree edge, a
+/// down-sweep (preorder) integrates potential drops from the root. The
+/// returned potentials are normalised to zero mean, making the map exactly
+/// `L_T⁺` on the subspace orthogonal to the constant vector.
+///
+/// This is the classical support-graph preconditioner (Vaidya; Spielman–Teng
+/// lineage): preconditioning CG on a graph Laplacian `L_G` with the solver of
+/// a spanning tree of `G` bounds the iteration count by the total stretch of
+/// `G` over `T`.
+///
+/// # Example
+/// ```
+/// use ingrass_graph::{Tree, TreeLaplacianSolver};
+/// // Path 0-1-2 with unit weights.
+/// let t = Tree::from_parent(0.into(), vec![0, 0, 1], vec![0.0, 1.0, 1.0]).unwrap();
+/// let solver = TreeLaplacianSolver::new(&t);
+/// // Inject +1 at node 0, -1 at node 2: potential drop = resistance 2.
+/// let x = solver.solve(&[1.0, 0.0, -1.0]);
+/// assert!((x[0] - x[2] - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeLaplacianSolver {
+    /// Preorder of the tree (parents before children).
+    preorder: Vec<u32>,
+    /// Parent of each node (self for the root).
+    parent: Vec<u32>,
+    /// Resistance (1/weight) of each node's parent edge; 0 for the root.
+    parent_resistance: Vec<f64>,
+    root: u32,
+}
+
+impl TreeLaplacianSolver {
+    /// Builds the solver from a tree.
+    pub fn new(tree: &Tree) -> Self {
+        let n = tree.num_nodes();
+        let mut parent = vec![0u32; n];
+        let mut parent_resistance = vec![0.0; n];
+        for u in 0..n {
+            let node = crate::ids::NodeId::new(u);
+            match tree.parent(node) {
+                Some(p) => {
+                    parent[u] = p.raw();
+                    parent_resistance[u] = 1.0 / tree.parent_weight(node);
+                }
+                None => parent[u] = u as u32,
+            }
+        }
+        TreeLaplacianSolver {
+            preorder: tree.preorder().to_vec(),
+            parent,
+            parent_resistance,
+            root: tree.root().raw(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn dim(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Solves `L_T x = b` into `x` (both length `n`).
+    ///
+    /// The right-hand side is implicitly projected to zero mean, and the
+    /// output has zero mean, so the map is symmetric PSD — safe to use as a
+    /// CG preconditioner even with slightly inconsistent inputs.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` or `x.len()` differ from the node count.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "tree solve: b dimension");
+        assert_eq!(x.len(), n, "tree solve: x dimension");
+        if n == 0 {
+            return;
+        }
+        // Project b to zero mean (consistency).
+        let mean = b.iter().sum::<f64>() / n as f64;
+        // Up-sweep: accumulate subtree current injections.
+        // flow[u] = total current that must flow from u to its parent.
+        let mut flow: Vec<f64> = b.iter().map(|v| v - mean).collect();
+        for &u in self.preorder.iter().rev() {
+            let p = self.parent[u as usize];
+            if p != u {
+                let fu = flow[u as usize];
+                flow[p as usize] += fu;
+            }
+        }
+        // Down-sweep: integrate potential drops from the root.
+        x[self.root as usize] = 0.0;
+        for &u in &self.preorder {
+            let p = self.parent[u as usize];
+            if p != u {
+                x[u as usize] = x[p as usize] + flow[u as usize] * self.parent_resistance[u as usize];
+            }
+        }
+        // Normalise to zero mean so the map equals L_T⁺ on 1⊥.
+        let xmean = x.iter().sum::<f64>() / n as f64;
+        for xi in x.iter_mut() {
+            *xi -= xmean;
+        }
+    }
+
+    /// Allocating variant of [`TreeLaplacianSolver::solve_into`].
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.dim()];
+        self.solve_into(b, &mut x);
+        x
+    }
+}
+
+/// [`Preconditioner`] adapter: preconditions a graph-Laplacian CG solve with
+/// the exact inverse of a spanning-tree Laplacian.
+#[derive(Debug, Clone)]
+pub struct TreePrecond {
+    solver: TreeLaplacianSolver,
+}
+
+impl TreePrecond {
+    /// Builds the preconditioner from a spanning tree of the graph whose
+    /// Laplacian is being solved.
+    pub fn new(tree: &Tree) -> Self {
+        TreePrecond {
+            solver: TreeLaplacianSolver::new(tree),
+        }
+    }
+}
+
+impl Preconditioner for TreePrecond {
+    fn dim(&self) -> usize {
+        self.solver.dim()
+    }
+
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        self.solver.solve_into(r, z);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::mst::{kruskal_tree, TreeObjective};
+    use ingrass_linalg::{pcg, CgOptions, DenseMatrix, JacobiPrecond};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn tree_laplacian_dense(t: &Tree) -> DenseMatrix {
+        let n = t.num_nodes();
+        let mut l = DenseMatrix::zeros(n, n);
+        for (u, p, w) in t.edges() {
+            l.add(u.index(), u.index(), w);
+            l.add(p.index(), p.index(), w);
+            l.add(u.index(), p.index(), -w);
+            l.add(p.index(), u.index(), -w);
+        }
+        l
+    }
+
+    #[test]
+    fn solve_matches_dense_pseudoinverse() {
+        // Random-ish tree over 8 nodes.
+        let parent = vec![0u32, 0, 0, 1, 1, 2, 4, 4];
+        let weight = vec![0.0, 2.0, 1.0, 0.5, 3.0, 1.5, 4.0, 0.25];
+        let t = Tree::from_parent(0.into(), parent, weight).unwrap();
+        let solver = TreeLaplacianSolver::new(&t);
+        let l = tree_laplacian_dense(&t);
+        let mut b = vec![1.0, -0.5, 0.25, -0.75, 0.5, 0.25, -1.0, 0.25];
+        let mean = b.iter().sum::<f64>() / b.len() as f64;
+        for v in b.iter_mut() {
+            *v -= mean;
+        }
+        let x = solver.solve(&b);
+        let x_ref = l.pseudo_inverse_apply(&b, 1e-12).unwrap();
+        for i in 0..8 {
+            assert!(
+                (x[i] - x_ref[i]).abs() < 1e-10,
+                "component {i}: {} vs {}",
+                x[i],
+                x_ref[i]
+            );
+        }
+    }
+
+    #[test]
+    fn solve_output_satisfies_laplacian_equation() {
+        let parent = vec![0u32, 0, 1, 2, 2];
+        let weight = vec![0.0, 1.0, 2.0, 4.0, 0.5];
+        let t = Tree::from_parent(0.into(), parent, weight).unwrap();
+        let solver = TreeLaplacianSolver::new(&t);
+        let b = vec![2.0, -1.0, 0.0, -1.0, 0.0];
+        let x = solver.solve(&b);
+        let l = tree_laplacian_dense(&t);
+        let lx = l.matvec(&x);
+        for i in 0..5 {
+            assert!((lx[i] - b[i]).abs() < 1e-12, "row {i}");
+        }
+        assert!(x.iter().sum::<f64>().abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_preconditioner_beats_jacobi_on_grid() {
+        // 2-D grid graph: tree-PCG should need (many) fewer iterations than
+        // Jacobi-PCG at the same tolerance.
+        let (w, h) = (12, 12);
+        let n = w * h;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut edges = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                let u = y * w + x;
+                if x + 1 < w {
+                    edges.push((u, u + 1, 0.5 + rng.random::<f64>()));
+                }
+                if y + 1 < h {
+                    edges.push((u, u + w, 0.5 + rng.random::<f64>()));
+                }
+            }
+        }
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let l = g.laplacian();
+        let t = kruskal_tree(&g, TreeObjective::MaxWeight).unwrap();
+
+        let mut b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mean = b.iter().sum::<f64>() / n as f64;
+        b.iter_mut().for_each(|v| *v -= mean);
+        let ones = vec![1.0; n];
+        let opts = CgOptions::default().with_rel_tol(1e-8);
+
+        let mut x1 = vec![0.0; n];
+        let jac = JacobiPrecond::from_matrix(&l);
+        let r1 = pcg(&l, &b, &mut x1, &jac, Some(&ones), &opts);
+
+        let mut x2 = vec![0.0; n];
+        let tp = TreePrecond::new(&t.tree);
+        let r2 = pcg(&l, &b, &mut x2, &tp, Some(&ones), &opts);
+
+        assert!(r1.converged && r2.converged);
+        assert!(
+            r2.iterations <= r1.iterations,
+            "tree {} vs jacobi {}",
+            r2.iterations,
+            r1.iterations
+        );
+        // Both reach the same solution.
+        for i in 0..n {
+            assert!((x1[i] - x2[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn single_node_solve_is_zero() {
+        let t = Tree::from_parent(0.into(), vec![0], vec![0.0]).unwrap();
+        let s = TreeLaplacianSolver::new(&t);
+        assert_eq!(s.solve(&[5.0]), vec![0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solver_inverts_tree_laplacian(
+            shape in proptest::collection::vec((0usize..1000, 0.1f64..10.0), 1..24),
+            rhs in proptest::collection::vec(-5.0f64..5.0, 25),
+        ) {
+            let n = shape.len() + 1;
+            let mut parent = vec![0u32];
+            let mut weight = vec![0.0f64];
+            for (i, (r, w)) in shape.iter().enumerate() {
+                parent.push((r % (i + 1)) as u32);
+                weight.push(*w);
+            }
+            let t = Tree::from_parent(0.into(), parent, weight).unwrap();
+            let solver = TreeLaplacianSolver::new(&t);
+            let mut b = rhs[..n].to_vec();
+            let mean = b.iter().sum::<f64>() / n as f64;
+            b.iter_mut().for_each(|v| *v -= mean);
+            let x = solver.solve(&b);
+            let l = tree_laplacian_dense(&t);
+            let lx = l.matvec(&x);
+            for i in 0..n {
+                prop_assert!((lx[i] - b[i]).abs() < 1e-8);
+            }
+        }
+    }
+}

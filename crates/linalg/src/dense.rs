@@ -1,0 +1,431 @@
+//! Small dense matrices: Cholesky, symmetric eigendecomposition.
+//!
+//! These are *reference* kernels: `O(n³)` and intended for test oracles,
+//! exact effective-resistance computation on small graphs, and the tiny
+//! tridiagonal eigenproblems produced by Lanczos. They are not meant for the
+//! large graphs the sparse path handles.
+
+use crate::csr::CsrMatrix;
+use crate::error::LinalgError;
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use ingrass_linalg::DenseMatrix;
+/// let mut a = DenseMatrix::zeros(2, 2);
+/// a.set(0, 0, 4.0); a.set(0, 1, 1.0);
+/// a.set(1, 0, 1.0); a.set(1, 1, 3.0);
+/// let x = a.solve_spd(&[1.0, 2.0]).unwrap();
+/// assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// An `n_rows × n_cols` matrix of zeros.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        DenseMatrix {
+            n_rows,
+            n_cols,
+            data: vec![0.0; n_rows * n_cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Densifies a sparse matrix.
+    pub fn from_csr(m: &CsrMatrix) -> Self {
+        let mut d = DenseMatrix::zeros(m.n_rows(), m.n_cols());
+        for r in 0..m.n_rows() {
+            let (cols, vals) = m.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                d.set(r, *c as usize, *v);
+            }
+        }
+        d
+    }
+
+    /// Builds from a row-major slice.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n_rows * n_cols`.
+    pub fn from_rows(n_rows: usize, n_cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), n_rows * n_cols, "from_rows: length mismatch");
+        DenseMatrix {
+            n_rows,
+            n_cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Entry `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n_cols + c]
+    }
+
+    /// Sets entry `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n_cols + c] = v;
+    }
+
+    /// Adds `v` to entry `(r, c)`.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n_cols + c] += v;
+    }
+
+    /// `y ← A·x` (allocating).
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_cols, "matvec: dimension");
+        let mut y = vec![0.0; self.n_rows];
+        for r in 0..self.n_rows {
+            let row = &self.data[r * self.n_cols..(r + 1) * self.n_cols];
+            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Cholesky factorisation `A = LLᵀ` of a symmetric positive definite
+    /// matrix; returns the lower factor.
+    ///
+    /// # Errors
+    /// [`LinalgError::NotSpd`] if a pivot is non-positive;
+    /// [`LinalgError::DimensionMismatch`] if the matrix is not square.
+    pub fn cholesky(&self) -> Result<DenseMatrix, LinalgError> {
+        if self.n_rows != self.n_cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.n_rows,
+                found: self.n_cols,
+            });
+        }
+        let n = self.n_rows;
+        let mut l = DenseMatrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = self.get(j, j);
+            for k in 0..j {
+                d -= l.get(j, k) * l.get(j, k);
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotSpd { pivot: j });
+            }
+            let dj = d.sqrt();
+            l.set(j, j, dj);
+            for i in (j + 1)..n {
+                let mut s = self.get(i, j);
+                for k in 0..j {
+                    s -= l.get(i, k) * l.get(j, k);
+                }
+                l.set(i, j, s / dj);
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solves `A x = b` for SPD `A` via Cholesky.
+    ///
+    /// # Errors
+    /// Propagates [`LinalgError::NotSpd`]; returns
+    /// [`LinalgError::DimensionMismatch`] if `b.len() != n`.
+    pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if b.len() != self.n_rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.n_rows,
+                found: b.len(),
+            });
+        }
+        let l = self.cholesky()?;
+        let n = self.n_rows;
+        // Forward substitution L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                let v = y[k];
+                y[i] -= l.get(i, k) * v;
+            }
+            y[i] /= l.get(i, i);
+        }
+        // Back substitution Lᵀ x = y.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                let v = y[k];
+                y[i] -= l.get(k, i) * v;
+            }
+            y[i] /= l.get(i, i);
+        }
+        Ok(y)
+    }
+
+    /// Symmetric eigendecomposition via cyclic Jacobi rotations.
+    ///
+    /// Returns `(eigenvalues, eigenvectors)` with eigenvalues sorted in
+    /// ascending order and the i-th *column* of the returned matrix holding
+    /// the corresponding unit eigenvector. Only the symmetric part of `self`
+    /// is used.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] if the matrix is not square;
+    /// [`LinalgError::NotConverged`] if the off-diagonal mass fails to drop
+    /// below tolerance within 100 sweeps (does not happen for symmetric
+    /// input).
+    pub fn symmetric_eigen(&self) -> Result<(Vec<f64>, DenseMatrix), LinalgError> {
+        if self.n_rows != self.n_cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.n_rows,
+                found: self.n_cols,
+            });
+        }
+        let n = self.n_rows;
+        if n == 0 {
+            return Ok((Vec::new(), DenseMatrix::zeros(0, 0)));
+        }
+        // Work on the symmetrised copy.
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a.set(i, j, 0.5 * (self.get(i, j) + self.get(j, i)));
+            }
+        }
+        let mut v = DenseMatrix::identity(n);
+        let frob: f64 = a.data.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let tol = 1e-14 * frob.max(1.0);
+        let max_sweeps = 100;
+        for _sweep in 0..max_sweeps {
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off += a.get(i, j) * a.get(i, j);
+                }
+            }
+            if off.sqrt() <= tol {
+                let mut pairs: Vec<(f64, usize)> =
+                    (0..n).map(|i| (a.get(i, i), i)).collect();
+                pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+                let values: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+                let mut vectors = DenseMatrix::zeros(n, n);
+                for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+                    for r in 0..n {
+                        vectors.set(r, new_col, v.get(r, old_col));
+                    }
+                }
+                return Ok((values, vectors));
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = a.get(p, q);
+                    if apq.abs() <= tol / (n as f64) {
+                        continue;
+                    }
+                    let app = a.get(p, p);
+                    let aqq = a.get(q, q);
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    for k in 0..n {
+                        let akp = a.get(k, p);
+                        let akq = a.get(k, q);
+                        a.set(k, p, c * akp - s * akq);
+                        a.set(k, q, s * akp + c * akq);
+                    }
+                    for k in 0..n {
+                        let apk = a.get(p, k);
+                        let aqk = a.get(q, k);
+                        a.set(p, k, c * apk - s * aqk);
+                        a.set(q, k, s * apk + c * aqk);
+                    }
+                    for k in 0..n {
+                        let vkp = v.get(k, p);
+                        let vkq = v.get(k, q);
+                        v.set(k, p, c * vkp - s * vkq);
+                        v.set(k, q, s * vkp + c * vkq);
+                    }
+                }
+            }
+        }
+        Err(LinalgError::NotConverged {
+            method: "jacobi_eigen",
+            iterations: max_sweeps,
+            residual: f64::NAN,
+        })
+    }
+
+    /// Applies the Moore–Penrose pseudo-inverse of a singular symmetric PSD
+    /// matrix (e.g. a graph Laplacian) to `b`, using the eigendecomposition.
+    ///
+    /// Eigenvalues with magnitude below `rank_tol · λ_max` are treated as
+    /// zero.
+    ///
+    /// # Errors
+    /// Propagates errors from [`DenseMatrix::symmetric_eigen`].
+    pub fn pseudo_inverse_apply(&self, b: &[f64], rank_tol: f64) -> Result<Vec<f64>, LinalgError> {
+        let (vals, vecs) = self.symmetric_eigen()?;
+        let n = self.n_rows;
+        let lmax = vals.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let cutoff = rank_tol * lmax.max(f64::MIN_POSITIVE);
+        let mut x = vec![0.0; n];
+        for (i, &lam) in vals.iter().enumerate() {
+            if lam.abs() <= cutoff {
+                continue;
+            }
+            let mut coeff = 0.0;
+            for r in 0..n {
+                coeff += vecs.get(r, i) * b[r];
+            }
+            coeff /= lam;
+            for r in 0..n {
+                x[r] += coeff * vecs.get(r, i);
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cholesky_of_identity() {
+        let i = DenseMatrix::identity(4);
+        let l = i.cholesky().unwrap();
+        assert_eq!(l, DenseMatrix::identity(4));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let m = DenseMatrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]);
+        assert!(matches!(m.cholesky(), Err(LinalgError::NotSpd { .. })));
+    }
+
+    #[test]
+    fn solve_spd_roundtrip() {
+        let a = DenseMatrix::from_rows(3, 3, &[4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 5.0]);
+        let x_true = [1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = a.solve_spd(&b).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn eigen_of_diagonal_matrix() {
+        let m = DenseMatrix::from_rows(3, 3, &[3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let (vals, vecs) = m.symmetric_eigen().unwrap();
+        assert!((vals[0] - 1.0).abs() < 1e-12);
+        assert!((vals[1] - 2.0).abs() < 1e-12);
+        assert!((vals[2] - 3.0).abs() < 1e-12);
+        // Eigenvector for eigenvalue 1.0 is e_1.
+        assert!(vecs.get(1, 0).abs() > 0.99);
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let m = DenseMatrix::from_rows(3, 3, &[2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0]);
+        let (vals, vecs) = m.symmetric_eigen().unwrap();
+        // A = V diag(vals) Vᵀ
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut acc = 0.0;
+                for k in 0..3 {
+                    acc += vecs.get(i, k) * vals[k] * vecs.get(j, k);
+                }
+                assert!((acc - m.get(i, j)).abs() < 1e-10, "entry ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn pseudo_inverse_on_laplacian() {
+        // Path graph P3 Laplacian; pinv satisfies L L⁺ b = b for b ⊥ 1.
+        let l = DenseMatrix::from_rows(3, 3, &[1.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 1.0]);
+        let b = [1.0, 0.0, -1.0];
+        let x = l.pseudo_inverse_apply(&b, 1e-10).unwrap();
+        let lb = l.matvec(&x);
+        for i in 0..3 {
+            assert!((lb[i] - b[i]).abs() < 1e-10);
+        }
+        // Effective resistance between ends of P3 (unit weights) is 2.
+        let r = x[0] - x[2];
+        assert!((r - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_empty_matrix() {
+        let m = DenseMatrix::zeros(0, 0);
+        let (vals, _) = m.symmetric_eigen().unwrap();
+        assert!(vals.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cholesky_solve_matches_eigen_solve(
+            raw in proptest::collection::vec(-1.0f64..1.0, 16),
+            b in proptest::collection::vec(-1.0f64..1.0, 4),
+        ) {
+            // Build SPD A = MᵀM + I.
+            let m = DenseMatrix::from_rows(4, 4, &raw);
+            let mut a = DenseMatrix::zeros(4, 4);
+            for i in 0..4 {
+                for j in 0..4 {
+                    let mut acc = if i == j { 1.0 } else { 0.0 };
+                    for k in 0..4 {
+                        acc += m.get(k, i) * m.get(k, j);
+                    }
+                    a.set(i, j, acc);
+                }
+            }
+            let x = a.solve_spd(&b).unwrap();
+            let ax = a.matvec(&x);
+            for i in 0..4 {
+                prop_assert!((ax[i] - b[i]).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn prop_eigenvalues_sum_to_trace(
+            raw in proptest::collection::vec(-2.0f64..2.0, 25),
+        ) {
+            let mut a = DenseMatrix::from_rows(5, 5, &raw);
+            // Symmetrise.
+            for i in 0..5 {
+                for j in 0..5 {
+                    let s = 0.5 * (a.get(i, j) + a.get(j, i));
+                    a.set(i, j, s);
+                    a.set(j, i, s);
+                }
+            }
+            let trace: f64 = (0..5).map(|i| a.get(i, i)).sum();
+            let (vals, _) = a.symmetric_eigen().unwrap();
+            prop_assert!((vals.iter().sum::<f64>() - trace).abs() < 1e-9);
+        }
+    }
+}

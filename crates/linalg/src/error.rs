@@ -1,0 +1,84 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// An iterative method exhausted its iteration budget before reaching the
+    /// requested tolerance.
+    NotConverged {
+        /// Name of the method that failed (e.g. `"pcg"`, `"lanczos"`).
+        method: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual (or error estimate) at the final iteration.
+        residual: f64,
+    },
+    /// A matrix expected to be symmetric positive definite was not.
+    NotSpd {
+        /// Index of the pivot at which the Cholesky factorisation broke down.
+        pivot: usize,
+    },
+    /// Operand dimensions are incompatible.
+    DimensionMismatch {
+        /// Dimension the operation expected.
+        expected: usize,
+        /// Dimension it received.
+        found: usize,
+    },
+    /// An argument was outside the domain of the routine.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotConverged {
+                method,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{method} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            LinalgError::NotSpd { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LinalgError::NotConverged {
+            method: "pcg",
+            iterations: 10,
+            residual: 0.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("pcg"));
+        assert!(msg.contains("10"));
+
+        let e = LinalgError::DimensionMismatch {
+            expected: 4,
+            found: 3,
+        };
+        assert!(e.to_string().contains("expected 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

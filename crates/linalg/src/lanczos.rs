@@ -1,0 +1,413 @@
+//! Symmetric Lanczos iteration for extreme eigenvalues, in both the standard
+//! and the generalised (matrix pencil) form.
+//!
+//! The pencil form is the workhorse behind the relative condition number
+//! `κ(L_G, L_H)` reported throughout the inGRASS paper: the extreme
+//! generalised eigenvalues of the pencil `(L_G, L_H)` are exactly the extreme
+//! eigenvalues of `L_H⁺ L_G` on the complement of the shared null space.
+
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+use crate::op::LinearOperator;
+use crate::vector::{axpy, dot, project_out, random_unit_perp_ones};
+
+/// Options controlling a Lanczos run.
+#[derive(Debug, Clone)]
+pub struct LanczosOptions {
+    /// Maximum Krylov dimension (default 60).
+    pub max_iters: usize,
+    /// Relative change threshold on the extreme Ritz values used for early
+    /// stopping (default `1e-8`).
+    pub tol: f64,
+    /// Seed for the random start vector (default 7).
+    pub seed: u64,
+}
+
+impl Default for LanczosOptions {
+    fn default() -> Self {
+        LanczosOptions {
+            max_iters: 60,
+            tol: 1e-8,
+            seed: 7,
+        }
+    }
+}
+
+impl LanczosOptions {
+    /// Returns options with the given Krylov dimension cap.
+    pub fn with_max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Returns options with the given early-stopping tolerance.
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Returns options with the given RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Result of a standard Lanczos run.
+#[derive(Debug, Clone)]
+pub struct LanczosResult {
+    /// Largest Ritz value (estimate of `λ_max`).
+    pub lambda_max: f64,
+    /// Smallest Ritz value (estimate of `λ_min` on the deflated subspace).
+    pub lambda_min: f64,
+    /// All Ritz values, ascending.
+    pub ritz_values: Vec<f64>,
+    /// Lanczos steps performed.
+    pub iterations: usize,
+}
+
+/// Result of a generalised (pencil) Lanczos run.
+#[derive(Debug, Clone)]
+pub struct PencilEigenResult {
+    /// Largest generalised Ritz value of `(A, B)`.
+    pub lambda_max: f64,
+    /// Smallest generalised Ritz value of `(A, B)` restricted to the Krylov
+    /// space (not a sharp lower bound on the true `λ_min`).
+    pub lambda_min: f64,
+    /// All Ritz values, ascending.
+    pub ritz_values: Vec<f64>,
+    /// Lanczos steps performed.
+    pub iterations: usize,
+}
+
+fn tridiagonal_extremes(alpha: &[f64], beta: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let m = alpha.len();
+    let mut t = DenseMatrix::zeros(m, m);
+    for i in 0..m {
+        t.set(i, i, alpha[i]);
+        if i + 1 < m {
+            t.set(i, i + 1, beta[i]);
+            t.set(i + 1, i, beta[i]);
+        }
+    }
+    let (vals, _) = t.symmetric_eigen()?;
+    Ok(vals)
+}
+
+/// Estimates the extreme eigenvalues of a symmetric operator with Lanczos
+/// (full reorthogonalisation — Krylov dimensions here are small).
+///
+/// If `deflate` is given, every iterate is kept orthogonal to that vector;
+/// pass the all-ones vector when `a` is a connected graph Laplacian so the
+/// returned `lambda_min` estimates the Fiedler value rather than 0.
+///
+/// # Errors
+/// [`LinalgError::InvalidArgument`] for a zero-dimensional operator;
+/// propagates tridiagonal eigensolver failures.
+pub fn lanczos_extreme<A>(
+    a: &A,
+    deflate: Option<&[f64]>,
+    opts: &LanczosOptions,
+) -> Result<LanczosResult, LinalgError>
+where
+    A: LinearOperator + ?Sized,
+{
+    let n = a.dim();
+    if n == 0 {
+        return Err(LinalgError::InvalidArgument(
+            "operator has dimension 0".into(),
+        ));
+    }
+    let m_cap = opts.max_iters.min(n).max(1);
+
+    let mut v = random_unit_perp_ones(n, opts.seed);
+    if let Some(u) = deflate {
+        project_out(&mut v, u);
+        crate::vector::normalize(&mut v);
+    }
+
+    let mut basis: Vec<Vec<f64>> = vec![v.clone()];
+    let mut alpha: Vec<f64> = Vec::new();
+    let mut beta: Vec<f64> = Vec::new();
+    let mut w = vec![0.0; n];
+    let mut prev_extremes = (f64::NAN, f64::NAN);
+
+    for j in 0..m_cap {
+        a.apply(&basis[j], &mut w);
+        if let Some(u) = deflate {
+            project_out(&mut w, u);
+        }
+        let aj = dot(&w, &basis[j]);
+        alpha.push(aj);
+        // Full reorthogonalisation against the basis.
+        crate::vector::mgs_orthogonalize(&mut w, &basis);
+        let bj = crate::vector::norm2(&w);
+        // Early-stopping check on the extreme Ritz values.
+        if (j + 1) % 5 == 0 || j + 1 == m_cap || bj <= 1e-13 {
+            let ritz = tridiagonal_extremes(&alpha, &beta)?;
+            let (lo, hi) = (ritz[0], *ritz.last().unwrap());
+            let (plo, phi) = prev_extremes;
+            let scale = hi.abs().max(1.0);
+            if bj <= 1e-13
+                || ((hi - phi).abs() <= opts.tol * scale && (lo - plo).abs() <= opts.tol * scale)
+            {
+                return Ok(LanczosResult {
+                    lambda_max: hi,
+                    lambda_min: lo,
+                    iterations: j + 1,
+                    ritz_values: ritz,
+                });
+            }
+            prev_extremes = (lo, hi);
+        }
+        if j + 1 < m_cap {
+            beta.push(bj);
+            let mut next = w.clone();
+            crate::vector::scale(&mut next, 1.0 / bj);
+            basis.push(next);
+        }
+    }
+
+    let ritz = tridiagonal_extremes(&alpha, &beta)?;
+    Ok(LanczosResult {
+        lambda_max: *ritz.last().unwrap(),
+        lambda_min: ritz[0],
+        iterations: m_cap,
+        ritz_values: ritz,
+    })
+}
+
+/// Generalised Lanczos for the symmetric pencil `A x = λ B x` with `B`
+/// symmetric positive definite on the subspace orthogonal to `deflate`.
+///
+/// The iteration runs in the `B`-inner product; `solve_b(rhs, out)` must
+/// (approximately) solve `B·out = rhs`. Both `A` and `B` may be singular
+/// along `deflate` (the all-ones vector for connected Laplacians) — iterates
+/// are projected against it at every step.
+///
+/// Used by `ingrass-metrics` with `A = L_G`, `B = L_H` and a
+/// tree-preconditioned CG as `solve_b` to estimate
+/// `λ_max(L_H⁺ L_G)`.
+///
+/// # Errors
+/// [`LinalgError::InvalidArgument`] on dimension mismatch or zero dimension;
+/// propagates tridiagonal eigensolver failures.
+pub fn generalized_lanczos<A, B, S>(
+    a: &A,
+    b: &B,
+    solve_b: S,
+    deflate: Option<&[f64]>,
+    opts: &LanczosOptions,
+) -> Result<PencilEigenResult, LinalgError>
+where
+    A: LinearOperator + ?Sized,
+    B: LinearOperator + ?Sized,
+    S: Fn(&[f64], &mut [f64]),
+{
+    let n = a.dim();
+    if n == 0 {
+        return Err(LinalgError::InvalidArgument(
+            "operator has dimension 0".into(),
+        ));
+    }
+    if b.dim() != n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: n,
+            found: b.dim(),
+        });
+    }
+    let m_cap = opts.max_iters.min(n).max(1);
+
+    // v₁ random, deflated, B-normalised. Cache B·vⱼ alongside vⱼ.
+    let mut v = random_unit_perp_ones(n, opts.seed);
+    if let Some(u) = deflate {
+        project_out(&mut v, u);
+    }
+    let mut bv = vec![0.0; n];
+    b.apply(&v, &mut bv);
+    let bnorm = dot(&v, &bv).max(f64::MIN_POSITIVE).sqrt();
+    crate::vector::scale(&mut v, 1.0 / bnorm);
+    crate::vector::scale(&mut bv, 1.0 / bnorm);
+
+    let mut basis: Vec<Vec<f64>> = vec![v];
+    let mut b_basis: Vec<Vec<f64>> = vec![bv];
+    let mut alpha: Vec<f64> = Vec::new();
+    let mut beta: Vec<f64> = Vec::new();
+    let mut av = vec![0.0; n];
+    let mut w = vec![0.0; n];
+    let mut prev_extremes = (f64::NAN, f64::NAN);
+
+    for j in 0..m_cap {
+        // w = B⁻¹ A vⱼ.
+        a.apply(&basis[j], &mut av);
+        if let Some(u) = deflate {
+            project_out(&mut av, u);
+        }
+        solve_b(&av, &mut w);
+        if let Some(u) = deflate {
+            project_out(&mut w, u);
+        }
+        // αⱼ = wᵀ B vⱼ = (A vⱼ)ᵀ vⱼ.
+        let aj = dot(&av, &basis[j]);
+        alpha.push(aj);
+        // B-orthogonalise w against the basis (two MGS passes).
+        for _ in 0..2 {
+            for (vi, bvi) in basis.iter().zip(&b_basis) {
+                let c = dot(&w, bvi);
+                axpy(-c, vi, &mut w);
+            }
+        }
+        // βⱼ = ‖w‖_B.
+        let mut bw = vec![0.0; n];
+        b.apply(&w, &mut bw);
+        if let Some(u) = deflate {
+            project_out(&mut bw, u);
+        }
+        let bj2 = dot(&w, &bw);
+        let bj = bj2.max(0.0).sqrt();
+
+        // β below this floor means the residual is inner-solver noise (the
+        // Krylov space hit an invariant subspace). Dividing by it would
+        // amplify noise into a garbage basis vector — the B-normalised
+        // basis gives β a natural O(1) scale, so an absolute floor works.
+        const BETA_FLOOR: f64 = 1e-7;
+        if (j + 1) % 4 == 0 || j + 1 == m_cap || bj <= BETA_FLOOR {
+            let ritz = tridiagonal_extremes(&alpha, &beta)?;
+            let (lo, hi) = (ritz[0], *ritz.last().unwrap());
+            let (plo, phi) = prev_extremes;
+            let scale = hi.abs().max(1.0);
+            if bj <= BETA_FLOOR
+                || ((hi - phi).abs() <= opts.tol * scale && (lo - plo).abs() <= opts.tol * scale)
+            {
+                return Ok(PencilEigenResult {
+                    lambda_max: hi,
+                    lambda_min: lo,
+                    iterations: j + 1,
+                    ritz_values: ritz,
+                });
+            }
+            prev_extremes = (lo, hi);
+        }
+
+        if j + 1 < m_cap {
+            beta.push(bj);
+            let inv = 1.0 / bj;
+            let mut next = w.clone();
+            crate::vector::scale(&mut next, inv);
+            crate::vector::scale(&mut bw, inv);
+            basis.push(next);
+            b_basis.push(bw);
+        }
+    }
+
+    let ritz = tridiagonal_extremes(&alpha, &beta)?;
+    Ok(PencilEigenResult {
+        lambda_max: *ritz.last().unwrap(),
+        lambda_min: ritz[0],
+        iterations: m_cap,
+        ritz_values: ritz,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::{pcg, CgOptions, JacobiPrecond};
+    use crate::csr::CsrMatrix;
+
+    fn laplacian_cycle(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..n {
+            let j = (i + 1) % n;
+            t.push((i, i, 1.0));
+            t.push((j, j, 1.0));
+            t.push((i, j, -1.0));
+            t.push((j, i, -1.0));
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    #[test]
+    fn finds_extremes_of_diagonal_operator() {
+        let t: Vec<(usize, usize, f64)> = (0..10).map(|i| (i, i, (i + 1) as f64)).collect();
+        let a = CsrMatrix::from_triplets(10, 10, &t);
+        let res = lanczos_extreme(&a, None, &LanczosOptions::default()).unwrap();
+        assert!((res.lambda_max - 10.0).abs() < 1e-6, "{}", res.lambda_max);
+        assert!((res.lambda_min - 1.0).abs() < 1e-6, "{}", res.lambda_min);
+    }
+
+    #[test]
+    fn cycle_laplacian_extremes_match_theory() {
+        // C_n eigenvalues: 2 - 2cos(2πk/n). For even n, λ_max = 4.
+        let n = 16;
+        let l = laplacian_cycle(n);
+        let ones = vec![1.0; n];
+        let res = lanczos_extreme(&l, Some(&ones), &LanczosOptions::default()).unwrap();
+        assert!((res.lambda_max - 4.0).abs() < 1e-6, "{}", res.lambda_max);
+        let fiedler = 2.0 - 2.0 * (2.0 * std::f64::consts::PI / n as f64).cos();
+        assert!(
+            (res.lambda_min - fiedler).abs() < 1e-6,
+            "min {} vs {}",
+            res.lambda_min,
+            fiedler
+        );
+    }
+
+    #[test]
+    fn pencil_of_identical_matrices_is_one() {
+        let l = laplacian_cycle(12);
+        let ones = vec![1.0; 12];
+        let pre = JacobiPrecond::from_matrix(&l);
+        let solve = |rhs: &[f64], out: &mut [f64]| {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            pcg(&l, rhs, out, &pre, Some(&ones), &CgOptions::default());
+        };
+        let res =
+            generalized_lanczos(&l, &l, solve, Some(&ones), &LanczosOptions::default()).unwrap();
+        assert!((res.lambda_max - 1.0).abs() < 1e-6, "{}", res.lambda_max);
+        assert!((res.lambda_min - 1.0).abs() < 1e-6, "{}", res.lambda_min);
+    }
+
+    #[test]
+    fn pencil_with_scaled_matrix_recovers_scale() {
+        let l = laplacian_cycle(10);
+        // A = 3·L.
+        let t: Vec<(usize, usize, f64)> = (0..10)
+            .flat_map(|r| {
+                let (cols, vals) = l.row(r);
+                cols.iter()
+                    .zip(vals)
+                    .map(move |(c, v)| (r, *c as usize, 3.0 * v))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let a = CsrMatrix::from_triplets(10, 10, &t);
+        let ones = vec![1.0; 10];
+        let pre = JacobiPrecond::from_matrix(&l);
+        let solve = |rhs: &[f64], out: &mut [f64]| {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            pcg(&l, rhs, out, &pre, Some(&ones), &CgOptions::default());
+        };
+        let res =
+            generalized_lanczos(&a, &l, solve, Some(&ones), &LanczosOptions::default()).unwrap();
+        assert!((res.lambda_max - 3.0).abs() < 1e-5, "{}", res.lambda_max);
+        assert!((res.lambda_min - 3.0).abs() < 1e-5, "{}", res.lambda_min);
+    }
+
+    #[test]
+    fn zero_dim_operator_errors() {
+        let a = CsrMatrix::from_triplets(0, 0, &[]);
+        assert!(lanczos_extreme(&a, None, &LanczosOptions::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let l = laplacian_cycle(20);
+        let ones = vec![1.0; 20];
+        let o = LanczosOptions::default().with_seed(99);
+        let a = lanczos_extreme(&l, Some(&ones), &o).unwrap();
+        let b = lanczos_extreme(&l, Some(&ones), &o).unwrap();
+        assert_eq!(a.lambda_max, b.lambda_max);
+        assert_eq!(a.ritz_values, b.ritz_values);
+    }
+}

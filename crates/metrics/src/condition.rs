@@ -1,0 +1,222 @@
+//! Relative condition number `κ(L_G, L_H)` of two graph Laplacians.
+
+use crate::error::MetricsError;
+use crate::Result;
+use ingrass_graph::{is_connected, kruskal_tree, Graph, TreeObjective, TreePrecond};
+use ingrass_linalg::{generalized_lanczos, pcg, CgOptions, LanczosOptions};
+
+/// Options controlling the condition-number estimation.
+#[derive(Debug, Clone)]
+pub struct ConditionOptions {
+    /// Lanczos iteration cap per extreme (default 40).
+    pub lanczos_iters: usize,
+    /// Relative convergence tolerance on the extreme Ritz values
+    /// (default `1e-4` — condition numbers are reported to ~3 digits).
+    pub lanczos_tol: f64,
+    /// Relative tolerance of the inner CG solves (default `1e-7`).
+    pub cg_tol: f64,
+    /// Iteration cap of the inner CG solves (default 2000).
+    pub cg_max_iters: usize,
+    /// RNG seed for the Lanczos start vectors.
+    pub seed: u64,
+}
+
+impl Default for ConditionOptions {
+    fn default() -> Self {
+        ConditionOptions {
+            lanczos_iters: 40,
+            lanczos_tol: 1e-4,
+            cg_tol: 1e-7,
+            cg_max_iters: 2000,
+            seed: 20,
+        }
+    }
+}
+
+impl ConditionOptions {
+    /// Returns options with a faster/looser profile for use inside search
+    /// loops (fewer Lanczos iterations, looser CG).
+    pub fn fast() -> Self {
+        ConditionOptions {
+            lanczos_iters: 24,
+            lanczos_tol: 1e-3,
+            cg_tol: 1e-6,
+            cg_max_iters: 800,
+            seed: 20,
+        }
+    }
+}
+
+/// Result of [`estimate_condition_number`].
+#[derive(Debug, Clone)]
+pub struct ConditionEstimate {
+    /// The relative condition number `λ_max / λ_min` of the pencil
+    /// `(L_G, L_H)` restricted to the complement of the null space.
+    pub kappa: f64,
+    /// Largest generalised eigenvalue `λ_max(L_H⁺ L_G)`.
+    pub lambda_max: f64,
+    /// Smallest generalised eigenvalue `λ_min(L_H⁺ L_G)`.
+    pub lambda_min: f64,
+    /// Lanczos iterations spent on the forward and reverse pencils.
+    pub iterations: (usize, usize),
+}
+
+/// Estimates `κ(L_G, L_H)` — the spectral-similarity measure the paper
+/// reports in Tables II/III.
+///
+/// Method: `λ_max(L_H⁺L_G)` via Lanczos on the pencil `(L_G, L_H)` in the
+/// `L_H` inner product, with spanning-tree-preconditioned CG providing the
+/// `L_H` solves; `λ_min(L_H⁺L_G) = 1/λ_max(L_G⁺L_H)` via the mirrored
+/// pencil. Both Laplacians share the constant null space, which is deflated
+/// throughout. Because inGRASS *re-weights* sparsifier edges, `H` is not a
+/// subgraph of `G` in general and `λ_min` genuinely differs from 1.
+///
+/// # Errors
+/// [`MetricsError::NodeCountMismatch`] or [`MetricsError::Disconnected`] on
+/// invalid operands; [`MetricsError::Linalg`] if Lanczos fails internally.
+pub fn estimate_condition_number(
+    g: &Graph,
+    h: &Graph,
+    opts: &ConditionOptions,
+) -> Result<ConditionEstimate> {
+    if g.num_nodes() != h.num_nodes() {
+        return Err(MetricsError::NodeCountMismatch {
+            left: g.num_nodes(),
+            right: h.num_nodes(),
+        });
+    }
+    if !is_connected(g) {
+        return Err(MetricsError::Disconnected { which: "G" });
+    }
+    if !is_connected(h) {
+        return Err(MetricsError::Disconnected { which: "H" });
+    }
+    let n = g.num_nodes();
+    let ones = vec![1.0; n];
+    let lg = g.laplacian();
+    let lh = h.laplacian();
+    let lanczos_opts = LanczosOptions::default()
+        .with_max_iters(opts.lanczos_iters)
+        .with_tol(opts.lanczos_tol)
+        .with_seed(opts.seed);
+    let cg_opts = CgOptions::default()
+        .with_rel_tol(opts.cg_tol)
+        .with_max_iters(opts.cg_max_iters);
+
+    // Forward pencil: λ_max(L_H⁺ L_G) — solves with L_H.
+    let tree_h = kruskal_tree(h, TreeObjective::MaxWeight)
+        .map_err(|e| MetricsError::Linalg(e.to_string()))?;
+    let pre_h = TreePrecond::new(&tree_h.tree);
+    let solve_h = |rhs: &[f64], out: &mut [f64]| {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        pcg(&lh, rhs, out, &pre_h, Some(&ones), &cg_opts);
+    };
+    let fwd = generalized_lanczos(&lg, &lh, solve_h, Some(&ones), &lanczos_opts)?;
+
+    // Reverse pencil: λ_max(L_G⁺ L_H) — solves with L_G.
+    let tree_g = kruskal_tree(g, TreeObjective::MaxWeight)
+        .map_err(|e| MetricsError::Linalg(e.to_string()))?;
+    let pre_g = TreePrecond::new(&tree_g.tree);
+    let solve_g = |rhs: &[f64], out: &mut [f64]| {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        pcg(&lg, rhs, out, &pre_g, Some(&ones), &cg_opts);
+    };
+    let rev = generalized_lanczos(&lh, &lg, solve_g, Some(&ones), &lanczos_opts)?;
+
+    let lambda_max = fwd.lambda_max;
+    let lambda_min = 1.0 / rev.lambda_max;
+    Ok(ConditionEstimate {
+        kappa: lambda_max / lambda_min,
+        lambda_max,
+        lambda_min,
+        iterations: (fwd.iterations, rev.iterations),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ingrass_gen::{grid_2d, WeightModel};
+    use ingrass_graph::{kruskal_tree, TreeObjective};
+
+    #[test]
+    fn identical_graphs_have_kappa_one() {
+        let g = grid_2d(10, 10, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 1);
+        let est = estimate_condition_number(&g, &g, &ConditionOptions::default()).unwrap();
+        assert!((est.kappa - 1.0).abs() < 1e-3, "kappa {}", est.kappa);
+        assert!((est.lambda_max - 1.0).abs() < 1e-4);
+        assert!((est.lambda_min - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scaling_h_shifts_extremes_not_kappa() {
+        let g = grid_2d(8, 8, WeightModel::Unit, 2);
+        // H = G with all weights halved: λ(L_H⁺L_G) ≡ 2 ⇒ κ = 1.
+        let edges: Vec<(usize, usize, f64)> = g
+            .edges()
+            .iter()
+            .map(|e| (e.u.index(), e.v.index(), e.weight / 2.0))
+            .collect();
+        let h = Graph::from_edges(64, &edges).unwrap();
+        let est = estimate_condition_number(&g, &h, &ConditionOptions::default()).unwrap();
+        assert!((est.lambda_max - 2.0).abs() < 1e-3, "{}", est.lambda_max);
+        assert!((est.kappa - 1.0).abs() < 1e-3, "{}", est.kappa);
+    }
+
+    #[test]
+    fn spanning_tree_is_worse_than_tree_plus_offtree_edges() {
+        let g = grid_2d(10, 10, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 3);
+        let t = kruskal_tree(&g, TreeObjective::MaxWeight).unwrap();
+        let tree_graph = g.edge_subgraph(&t.in_tree);
+        let kappa_tree = estimate_condition_number(&g, &tree_graph, &ConditionOptions::default())
+            .unwrap()
+            .kappa;
+        // Add half the off-tree edges back.
+        let mut keep = t.in_tree.clone();
+        let off: Vec<usize> = (0..g.num_edges()).filter(|&e| !t.in_tree[e]).collect();
+        for &e in off.iter().step_by(2) {
+            keep[e] = true;
+        }
+        let denser = g.edge_subgraph(&keep);
+        let kappa_denser =
+            estimate_condition_number(&g, &denser, &ConditionOptions::default())
+                .unwrap()
+                .kappa;
+        assert!(
+            kappa_denser < kappa_tree,
+            "denser {kappa_denser} vs tree {kappa_tree}"
+        );
+        // Subgraphs of G have λ_min ≥ 1 (up to estimator slack).
+        assert!(kappa_tree > 1.0);
+    }
+
+    #[test]
+    fn mismatched_sizes_error() {
+        let g = grid_2d(4, 4, WeightModel::Unit, 0);
+        let h = grid_2d(5, 4, WeightModel::Unit, 0);
+        assert!(matches!(
+            estimate_condition_number(&g, &h, &ConditionOptions::default()),
+            Err(MetricsError::NodeCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_operand_errors() {
+        let g = grid_2d(4, 4, WeightModel::Unit, 0);
+        let h = Graph::from_edges(16, &[(0, 1, 1.0)]).unwrap();
+        assert!(matches!(
+            estimate_condition_number(&g, &h, &ConditionOptions::default()),
+            Err(MetricsError::Disconnected { which: "H" })
+        ));
+    }
+
+    #[test]
+    fn estimate_is_deterministic() {
+        let g = grid_2d(8, 8, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 5);
+        let t = kruskal_tree(&g, TreeObjective::MaxWeight).unwrap();
+        let h = g.edge_subgraph(&t.in_tree);
+        let a = estimate_condition_number(&g, &h, &ConditionOptions::default()).unwrap();
+        let b = estimate_condition_number(&g, &h, &ConditionOptions::default()).unwrap();
+        assert_eq!(a.kappa, b.kappa);
+    }
+}

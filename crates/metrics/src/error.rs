@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the metric estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricsError {
+    /// Graphs disagree on the node set.
+    NodeCountMismatch {
+        /// Nodes in the first graph.
+        left: usize,
+        /// Nodes in the second graph.
+        right: usize,
+    },
+    /// One of the graphs is disconnected — the relative condition number is
+    /// unbounded.
+    Disconnected {
+        /// `"G"` or `"H"` — which operand is disconnected.
+        which: &'static str,
+    },
+    /// An inner linear-algebra routine failed.
+    Linalg(String),
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::NodeCountMismatch { left, right } => {
+                write!(f, "node count mismatch: {left} vs {right}")
+            }
+            MetricsError::Disconnected { which } => {
+                write!(f, "graph {which} is disconnected; condition number is unbounded")
+            }
+            MetricsError::Linalg(msg) => write!(f, "linear algebra failure: {msg}"),
+        }
+    }
+}
+
+impl Error for MetricsError {}
+
+impl From<ingrass_linalg::LinalgError> for MetricsError {
+    fn from(e: ingrass_linalg::LinalgError) -> Self {
+        MetricsError::Linalg(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = MetricsError::NodeCountMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains('3'));
+        let e = MetricsError::Disconnected { which: "H" };
+        assert!(e.to_string().contains('H'));
+    }
+}

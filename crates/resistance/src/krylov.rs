@@ -1,0 +1,443 @@
+//! The paper's Krylov-subspace resistance embedding (setup phase, eq. (3)).
+
+use crate::embedding::NodeEmbedding;
+use ingrass_graph::{Graph, GraphError, NodeId};
+use ingrass_linalg::vector::{mgs_orthogonalize, normalize, project_out_ones, random_unit_perp_ones};
+use ingrass_linalg::{CsrMatrix, DenseMatrix};
+
+/// Which operator spans the Krylov subspace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KrylovOperator {
+    /// Damped random-walk smoothing `(1−ω)·I + ω·D⁻¹A` (equivalently one
+    /// weighted-Jacobi sweep, since `D⁻¹A = I − D⁻¹L`). Power iterations on
+    /// this operator converge onto the *smooth* (low Laplacian frequency)
+    /// modes that dominate effective resistance — the same solver-free
+    /// smoothing SF-GRASS \[9\] uses. Default, with `ω = 0.7` (damping keeps
+    /// the alternating mode of bipartite-ish graphs out of the subspace).
+    SmoothedAdjacency {
+        /// Jacobi damping factor in `(0, 1]`.
+        omega: f64,
+        /// Number of smoothing sweeps applied to every random probe vector
+        /// (randomized subspace iteration depth).
+        steps: usize,
+    },
+    /// Raw power iterations on the weighted adjacency matrix `A` — the
+    /// paper's literal prescription (`x, Ax, A²x, …`). On irregular graphs
+    /// the subspace aligns with high-degree local structure instead of the
+    /// smooth modes; kept as an ablation.
+    Adjacency,
+    /// Power iterations on the Laplacian `L` — an ablation alternative that
+    /// emphasises high-frequency modes.
+    Laplacian,
+}
+
+impl Default for KrylovOperator {
+    fn default() -> Self {
+        KrylovOperator::SmoothedAdjacency {
+            omega: 0.7,
+            steps: 8,
+        }
+    }
+}
+
+/// Configuration for [`KrylovEmbedder::build`].
+#[derive(Debug, Clone)]
+pub struct KrylovConfig {
+    /// Krylov subspace order `m` (embedding dimension). `None` picks
+    /// `⌈log₂ n⌉ + 4`, matching the paper's `O(log N)` prescription with a
+    /// constant that keeps small graphs accurate.
+    pub dim: Option<usize>,
+    /// Operator generating the subspace.
+    pub operator: KrylovOperator,
+    /// RNG seed for the start vector.
+    pub seed: u64,
+}
+
+impl Default for KrylovConfig {
+    fn default() -> Self {
+        KrylovConfig {
+            dim: None,
+            operator: KrylovOperator::default(),
+            seed: 42,
+        }
+    }
+}
+
+impl KrylovConfig {
+    /// Returns the config with an explicit embedding dimension.
+    pub fn with_dim(mut self, dim: usize) -> Self {
+        self.dim = Some(dim);
+        self
+    }
+
+    /// Returns the config with the given operator.
+    pub fn with_operator(mut self, op: KrylovOperator) -> Self {
+        self.operator = op;
+        self
+    }
+
+    /// Returns the config with the given seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The paper's scalable effective-resistance estimator (Section III-B-1).
+///
+/// Builds orthonormal vectors `ũ_1 … ũ_m` spanning the Krylov subspace
+/// `K_m(A, x)` of a random start vector, then estimates
+///
+/// ```text
+/// R(p, q) ≈ Σ_i (ũ_iᵀ b_pq)² / (ũ_iᵀ L ũ_i)        (paper eq. (3))
+/// ```
+///
+/// which is the squared distance between rows of the node embedding
+/// `y_p[i] = ũ_i[p] / sqrt(ũ_iᵀ L ũ_i)`. Cost: `m` sparse mat-vecs plus
+/// `O(n m²)` orthogonalisation — no linear solves.
+///
+/// The estimate is coarse in absolute terms but preserves the *ordering* of
+/// resistances well, which is all the LRD decomposition and the distortion
+/// ranking need (validated against [`crate::ExactResistance`] in this
+/// crate's tests and the `bench_resistance` ablation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KrylovEmbedder {
+    embedding: NodeEmbedding,
+}
+
+impl KrylovEmbedder {
+    /// Builds the Krylov resistance embedding of `g`.
+    ///
+    /// # Errors
+    /// [`GraphError::Empty`] if the graph has no nodes.
+    pub fn build(g: &Graph, cfg: &KrylovConfig) -> Result<Self, GraphError> {
+        Ok(KrylovEmbedder {
+            embedding: build_krylov_embedding(g, cfg)?,
+        })
+    }
+
+    /// The underlying node embedding.
+    pub fn embedding(&self) -> &NodeEmbedding {
+        &self.embedding
+    }
+
+    /// Number of embedded nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.embedding.num_nodes()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.embedding.dim()
+    }
+
+    /// Squared embedding distance (= resistance estimate) between `u` and `v`.
+    pub fn distance2(&self, u: NodeId, v: NodeId) -> f64 {
+        self.embedding.distance2(u, v)
+    }
+}
+
+impl crate::ResistanceEstimator for KrylovEmbedder {
+    fn resistance(&self, u: NodeId, v: NodeId) -> f64 {
+        self.embedding.distance2(u, v)
+    }
+}
+
+fn build_krylov_embedding(g: &Graph, cfg: &KrylovConfig) -> Result<NodeEmbedding, GraphError> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    let m = cfg
+        .dim
+        .unwrap_or_else(|| ((n.max(2) as f64).log2().ceil() as usize) + 4)
+        .clamp(1, n.saturating_sub(1).max(1));
+
+    let lap: CsrMatrix = g.laplacian();
+    let adj: Option<CsrMatrix> = match cfg.operator {
+        KrylovOperator::Laplacian => None,
+        _ => Some(g.adjacency_matrix()),
+    };
+    let inv_deg: Vec<f64> = (0..n)
+        .map(|u| {
+            let d = g.weighted_degree(NodeId::new(u));
+            if d > 0.0 {
+                1.0 / d
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    // One application of the chosen iteration operator.
+    let apply = |x: &[f64]| -> Vec<f64> {
+        match cfg.operator {
+            KrylovOperator::SmoothedAdjacency { omega, .. } => {
+                let mut y = adj.as_ref().expect("adjacency built").matvec_alloc(x);
+                for ((yi, xi), di) in y.iter_mut().zip(x).zip(&inv_deg) {
+                    *yi = (1.0 - omega) * xi + omega * *yi * di;
+                }
+                y
+            }
+            KrylovOperator::Adjacency => adj.as_ref().expect("adjacency built").matvec_alloc(x),
+            KrylovOperator::Laplacian => lap.matvec_alloc(x),
+        }
+    };
+
+    // Build the subspace. For the smoothed operator we run randomized
+    // subspace iteration (a *block* of m random probes, each smoothed
+    // `steps` times — this covers the m lowest Laplacian modes far better
+    // than a single Krylov chain); for the ablation operators we grow the
+    // classical single-vector Krylov chain of the paper's eq. (3).
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m);
+    if let KrylovOperator::SmoothedAdjacency { steps, .. } = cfg.operator {
+        for i in 0..m {
+            let mut w = random_unit_perp_ones(n, cfg.seed.wrapping_add(i as u64));
+            for _ in 0..steps {
+                w = apply(&w);
+                project_out_ones(&mut w);
+                if normalize(&mut w) <= f64::MIN_POSITIVE.sqrt() {
+                    break; // probe annihilated (can happen on tiny graphs)
+                }
+            }
+            mgs_orthogonalize(&mut w, &basis);
+            if normalize(&mut w) <= 1e-12 {
+                continue; // rank-deficient probe; skip
+            }
+            basis.push(w);
+        }
+        if basis.is_empty() {
+            basis.push(random_unit_perp_ones(n, cfg.seed));
+        }
+    } else {
+        let mut v = random_unit_perp_ones(n, cfg.seed);
+        basis.push(v.clone());
+        let mut restarts = 0u64;
+        while basis.len() < m {
+            let mut w = apply(&v);
+            project_out_ones(&mut w);
+            mgs_orthogonalize(&mut w, &basis);
+            if normalize(&mut w) <= 1e-12 {
+                // Krylov space exhausted — restart with a fresh random
+                // direction orthogonal to everything found so far.
+                restarts += 1;
+                if basis.len() + (restarts as usize) > n {
+                    break;
+                }
+                w = random_unit_perp_ones(n, cfg.seed.wrapping_add(restarts));
+                mgs_orthogonalize(&mut w, &basis);
+                if normalize(&mut w) <= 1e-12 {
+                    break;
+                }
+            }
+            basis.push(w.clone());
+            v = w;
+        }
+    }
+
+    // Rayleigh–Ritz on L over the Krylov space: the projected matrix
+    // T = ŨᵀLŨ is eigendecomposed and its Ritz pairs (θ_i, Ũs_i) serve as
+    // the "new set of mutually-orthogonal vectors approximating the original
+    // Laplacian eigenvectors" of the paper. The low Ritz pairs converge to
+    // the low Laplacian eigenpairs — the ones that dominate eq. (2).
+    let dim = basis.len();
+    let mut lu: Vec<Vec<f64>> = Vec::with_capacity(dim);
+    for u in &basis {
+        lu.push(lap.matvec_alloc(u));
+    }
+    let mut t = DenseMatrix::zeros(dim, dim);
+    for i in 0..dim {
+        for j in i..dim {
+            let v: f64 = basis[i].iter().zip(&lu[j]).map(|(a, b)| a * b).sum();
+            t.set(i, j, v);
+            t.set(j, i, v);
+        }
+    }
+    let (theta, s) = t
+        .symmetric_eigen()
+        .expect("small symmetric eigenproblem cannot fail");
+    let theta_max = theta.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+    let cutoff = 1e-12 * theta_max.max(f64::MIN_POSITIVE);
+
+    // Node coordinates: y_p[i] = (Ũ s_i)[p] / sqrt(θ_i), eq. (3).
+    let mut data = vec![0.0; n * dim];
+    for i in 0..dim {
+        let th = theta[i];
+        if th <= cutoff {
+            continue; // numerically-null direction carries no energy
+        }
+        let inv_sqrt = 1.0 / th.sqrt();
+        for (j, u) in basis.iter().enumerate() {
+            let c = s.get(j, i) * inv_sqrt;
+            if c == 0.0 {
+                continue;
+            }
+            for p in 0..n {
+                data[p * dim + i] += c * u[p];
+            }
+        }
+    }
+    Ok(NodeEmbedding::from_rows(n, dim, data))
+}
+
+/// Estimates per-edge effective resistances of `g` via the Krylov embedding
+/// (paper setup phase 1) — convenience wrapper.
+///
+/// # Errors
+/// [`GraphError::Empty`] if the graph has no nodes.
+pub fn krylov_edge_resistances(g: &Graph, cfg: &KrylovConfig) -> Result<Vec<f64>, GraphError> {
+    let emb = build_krylov_embedding(g, cfg)?;
+    Ok(g.edges()
+        .iter()
+        .map(|e| emb.distance2(e.u, e.v))
+        .collect())
+}
+
+/// Resistance between two nodes via a fresh embedding — test convenience.
+///
+/// # Errors
+/// [`GraphError::Empty`] if the graph has no nodes.
+pub fn krylov_resistance(
+    g: &Graph,
+    u: NodeId,
+    v: NodeId,
+    cfg: &KrylovConfig,
+) -> Result<f64, GraphError> {
+    let emb = build_krylov_embedding(g, cfg)?;
+    Ok(emb.distance2(u, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactResistance;
+    use crate::ResistanceEstimator;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn grid(w: usize, h: usize, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                let u = y * w + x;
+                if x + 1 < w {
+                    edges.push((u, u + 1, 0.5 + rng.random::<f64>()));
+                }
+                if y + 1 < h {
+                    edges.push((u, u + w, 0.5 + rng.random::<f64>()));
+                }
+            }
+        }
+        Graph::from_edges(w * h, &edges).unwrap()
+    }
+
+    fn spearman(a: &[f64], b: &[f64]) -> f64 {
+        fn ranks(x: &[f64]) -> Vec<f64> {
+            let mut idx: Vec<usize> = (0..x.len()).collect();
+            idx.sort_by(|&i, &j| x[i].total_cmp(&x[j]));
+            let mut r = vec![0.0; x.len()];
+            for (rank, &i) in idx.iter().enumerate() {
+                r[i] = rank as f64;
+            }
+            r
+        }
+        let (ra, rb) = (ranks(a), ranks(b));
+        let n = a.len() as f64;
+        let mean = (n - 1.0) / 2.0;
+        let mut num = 0.0;
+        let mut da = 0.0;
+        let mut db = 0.0;
+        for i in 0..a.len() {
+            num += (ra[i] - mean) * (rb[i] - mean);
+            da += (ra[i] - mean).powi(2);
+            db += (rb[i] - mean).powi(2);
+        }
+        num / (da.sqrt() * db.sqrt())
+    }
+
+    #[test]
+    fn embedding_dimension_defaults_to_log_n() {
+        let g = grid(8, 8, 1);
+        let emb = KrylovEmbedder::build(&g, &KrylovConfig::default()).unwrap();
+        assert_eq!(emb.num_nodes(), 64);
+        assert_eq!(emb.dim(), 10); // ceil(log2 64) + 4
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = grid(6, 6, 2);
+        let cfg = KrylovConfig::default().with_seed(9);
+        let a = KrylovEmbedder::build(&g, &cfg).unwrap();
+        let b = KrylovEmbedder::build(&g, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn path_graph_resistances_track_distance() {
+        // Truncated spectral sums are not strictly monotone along a path;
+        // the *ranking* must still strongly track the true resistance.
+        let n = 16;
+        let edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let emb = KrylovEmbedder::build(&g, &KrylovConfig::default().with_dim(12)).unwrap();
+        let approx: Vec<f64> = (1..n).map(|k| emb.distance2(0.into(), k.into())).collect();
+        let truth: Vec<f64> = (1..n).map(|k| k as f64).collect();
+        let rho = spearman(&approx, &truth);
+        assert!(rho > 0.8, "spearman along path too low: {rho}");
+        // Far pairs must read clearly larger than adjacent ones.
+        assert!(approx[14] > 2.0 * approx[0]);
+    }
+
+    #[test]
+    fn pair_resistance_ranking_correlates_with_exact() {
+        // Pairs at mixed distances — the workload the update phase sees
+        // (new edges span both local and long-range node pairs).
+        let g = grid(7, 7, 3);
+        let emb = KrylovEmbedder::build(&g, &KrylovConfig::default().with_dim(14)).unwrap();
+        let exact = ExactResistance::dense(&g).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut approx = Vec::new();
+        let mut truth = Vec::new();
+        for _ in 0..80 {
+            let u: usize = rng.random_range(0..49);
+            let v: usize = rng.random_range(0..49);
+            if u == v {
+                continue;
+            }
+            approx.push(emb.distance2(u.into(), v.into()));
+            truth.push(exact.resistance(u.into(), v.into()));
+        }
+        let rho = spearman(&approx, &truth);
+        assert!(rho > 0.6, "spearman correlation too low: {rho}");
+    }
+
+    #[test]
+    fn laplacian_operator_variant_also_works() {
+        let g = grid(6, 6, 4);
+        let cfg = KrylovConfig::default()
+            .with_operator(KrylovOperator::Laplacian)
+            .with_dim(10);
+        let emb = KrylovEmbedder::build(&g, &cfg).unwrap();
+        assert!(emb.distance2(0.into(), 35.into()) > 0.0);
+    }
+
+    #[test]
+    fn empty_graph_errors() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert!(KrylovEmbedder::build(&g, &KrylovConfig::default()).is_err());
+    }
+
+    #[test]
+    fn tiny_complete_graph_does_not_panic_on_exhausted_krylov_space() {
+        // K3 has a 2-dimensional nontrivial spectrum; asking for dim 3 should
+        // cap gracefully.
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]).unwrap();
+        let emb = KrylovEmbedder::build(&g, &KrylovConfig::default().with_dim(3)).unwrap();
+        assert!(emb.dim() >= 1);
+        // K3 with unit weights: exact R = 2/3 between any pair; the embedding
+        // must at least be symmetric across pairs.
+        let r01 = emb.distance2(0.into(), 1.into());
+        let r12 = emb.distance2(1.into(), 2.into());
+        assert!((r01 - r12).abs() < 0.5 * r01.max(r12) + 1e-12);
+    }
+}

@@ -1,0 +1,110 @@
+//! Adaptive-mesh-refinement scenario: a finite-element airfoil mesh is
+//! locally refined between solver runs, adding new stiffness couplings. The
+//! preconditioner built from the spectral sparsifier follows incrementally.
+//!
+//! Run with: `cargo run --release --example fem_refinement`
+
+use ingrass_repro::prelude::*;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let g0 = airfoil_mesh(&AirfoilConfig {
+        points: 4000,
+        thickness: 0.15,
+        seed: 3,
+    })?;
+    println!(
+        "airfoil FE mesh: {} nodes, {} edges",
+        g0.num_nodes(),
+        g0.num_edges()
+    );
+
+    let h0 = GrassSparsifier::default().by_offtree_density(&g0, 0.10)?;
+    let cond_opts = ConditionOptions::default();
+    let kappa0 = estimate_condition_number(&g0, &h0.graph, &cond_opts)?.kappa;
+
+    // Setup with the sharper JL resistance backend — FE meshes have strong
+    // weight gradients where the Krylov estimate is coarsest.
+    let t = Instant::now();
+    let mut engine = InGrassEngine::setup(
+        &h0.graph,
+        &SetupConfig::default().with_resistance(ResistanceBackend::Jl(JlConfig::default())),
+    )?;
+    println!(
+        "setup (JL backend): {} levels in {:.0} ms; initial κ = {kappa0:.1}",
+        engine.setup_report().levels,
+        t.elapsed().as_secs_f64() * 1e3
+    );
+
+    // Refinement stream: strongly local (new couplings appear where cells
+    // split).
+    let stream = InsertionStream::generate(
+        &g0,
+        &StreamConfig {
+            batches: 10,
+            edges_per_batch: g0.num_edges() / 250,
+            locality: 0.95,
+            local_hops: 2,
+            seed: 8,
+        },
+    );
+
+    let mut g = DynGraph::from_graph(&g0);
+    let cfg = UpdateConfig {
+        target_condition: kappa0,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let mut included = 0usize;
+    for batch in stream.batches() {
+        for &(u, v, w) in batch {
+            g.add_edge(u.into(), v.into(), w)?;
+        }
+        included += engine.insert_batch(batch, &cfg)?.included;
+    }
+    println!(
+        "{} refinement edges absorbed in {:.1} ms ({} included in H)",
+        stream.total_edges(),
+        t.elapsed().as_secs_f64() * 1e3,
+        included
+    );
+
+    let g_now = g.to_graph();
+    let h_now = engine.sparsifier_graph();
+    let maintained = estimate_condition_number(&g_now, &h_now, &cond_opts)?;
+    let stale = estimate_condition_number(&g_now, &h0.graph, &cond_opts)?;
+    println!(
+        "λmax(L_H⁺L_G) with maintenance: {:.1}; if H(0) were left stale: {:.1}",
+        maintained.lambda_max, stale.lambda_max
+    );
+    println!(
+        "two-sided κ with maintenance: {:.1} (λmin {:.2} — weight absorption on          strongly local streams over-weights H; see EXPERIMENTS.md)",
+        maintained.kappa, maintained.lambda_min
+    );
+
+    // The maintained sparsifier is what a PCG preconditioner would be
+    // built from: show the iteration count difference directly.
+    use ingrass_repro::graph::{kruskal_tree, TreeObjective, TreePrecond};
+    use ingrass_repro::linalg::{pcg, CgOptions};
+    let lap = g_now.laplacian();
+    let mut b = vec![0.0; g_now.num_nodes()];
+    b[0] = 1.0;
+    b[g_now.num_nodes() - 1] = -1.0;
+    let ones = vec![1.0; g_now.num_nodes()];
+    let tree = kruskal_tree(&h_now, TreeObjective::MaxWeight)?;
+    let pre = TreePrecond::new(&tree.tree);
+    let mut x = vec![0.0; g_now.num_nodes()];
+    let res = pcg(
+        &lap,
+        &b,
+        &mut x,
+        &pre,
+        Some(&ones),
+        &CgOptions::default().with_rel_tol(1e-8),
+    );
+    println!(
+        "tree-PCG on the updated Laplacian, preconditioned via H: {} iterations (converged: {})",
+        res.iterations, res.converged
+    );
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Reproduces the idea of paper **Fig. 2**: the multilevel LRD
+//! decomposition assigns every node a cluster index per level; the vector
+//! of indices is the node's resistance embedding, and the resistance
+//! between two nodes is bounded by the diameter of the first cluster that
+//! contains both.
+//!
+//! Run with: `cargo run --release --example lrd_embedding_demo`
+
+use ingrass_repro::prelude::*;
+use ingrass_repro::core::LrdHierarchy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small sparsifier-like graph: two tight 7-node communities bridged
+    // by a single weak edge (mirrors the figure's two-lobe layout).
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    for base in [0usize, 7] {
+        for i in 0..7 {
+            // ring + chords: tightly coupled community
+            edges.push((base + i, base + (i + 1) % 7, 4.0));
+            if i % 2 == 0 {
+                edges.push((base + i, base + (i + 2) % 7, 2.0));
+            }
+        }
+    }
+    edges.push((5, 9, 0.25)); // the weak bridge
+    let h0 = Graph::from_edges(14, &edges)?;
+
+    // Exact per-edge resistances make the demo deterministic and sharp.
+    let exact = ExactResistance::dense(&h0)?;
+    let r: Vec<f64> = exact.edge_resistances(&h0);
+    let hierarchy = LrdHierarchy::build(&h0, &r, None, 4.0, 16)?;
+
+    println!(
+        "LRD decomposition of a 14-node sparsifier — {} levels\n",
+        hierarchy.num_levels()
+    );
+    print!("node |");
+    for l in 0..hierarchy.num_levels() {
+        print!(" L{l} ");
+    }
+    println!("  ← embedding vector (cluster index per level)");
+    for u in 0..14usize {
+        let v = hierarchy.embedding_vector(u.into());
+        print!("{u:>4} |");
+        for c in &v {
+            print!("{c:>3} ");
+        }
+        println!();
+    }
+
+    println!("\nper-level cluster stats:");
+    for (l, lvl) in hierarchy.levels().iter().enumerate() {
+        println!(
+            "  level {l}: {:>2} clusters, max size {:>2}, diameter budget {:.3}",
+            lvl.num_clusters,
+            lvl.max_cluster_size(),
+            lvl.threshold
+        );
+    }
+
+    // The paper's example query: nodes from opposite lobes merge only at
+    // the top; the resistance bound is that cluster's diameter.
+    let (u, v) = (NodeId::new(2), NodeId::new(11));
+    let level = hierarchy.first_common_level(u, v).unwrap();
+    println!(
+        "\nnodes {u} and {v} first share a cluster at level {level}; \
+         resistance bound {:.3} vs exact {:.3}",
+        hierarchy.resistance_bound(u, v),
+        exact.resistance(u, v)
+    );
+    let (a, b) = (NodeId::new(2), NodeId::new(4));
+    println!(
+        "nodes {a} and {b} (same lobe) merge at level {}; bound {:.3} vs exact {:.3}",
+        hierarchy.first_common_level(a, b).unwrap(),
+        hierarchy.resistance_bound(a, b),
+        exact.resistance(a, b)
+    );
+    Ok(())
+}

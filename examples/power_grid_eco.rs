@@ -1,0 +1,96 @@
+//! ECO (engineering change order) scenario from the paper's introduction:
+//! a chip's power-delivery network receives extra metal straps late in the
+//! design flow, and the spectral sparsifier used by the power-grid analyser
+//! must follow along *without* re-running sparsification from scratch.
+//!
+//! Run with: `cargo run --release --example power_grid_eco`
+
+use ingrass_repro::prelude::*;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A two-layer power grid (G2_circuit class).
+    let g0 = power_grid(&PowerGridConfig {
+        width: 48,
+        height: 48,
+        ..Default::default()
+    });
+    println!(
+        "power grid: {} nodes, {} edges",
+        g0.num_nodes(),
+        g0.num_edges()
+    );
+
+    let h0 = GrassSparsifier::default().by_offtree_density(&g0, 0.10)?;
+    let cond_opts = ConditionOptions::default();
+    let kappa0 = estimate_condition_number(&g0, &h0.graph, &cond_opts)?.kappa;
+    println!("initial sparsifier: κ = {kappa0:.1}");
+
+    let mut engine = InGrassEngine::setup(&h0.graph, &SetupConfig::default())?;
+    let update_cfg = UpdateConfig {
+        target_condition: kappa0,
+        ..Default::default()
+    };
+
+    // Ten ECO rounds: mostly local strap insertions plus a few long
+    // planks across the die.
+    let stream = InsertionStream::generate(
+        &g0,
+        &StreamConfig {
+            batches: 10,
+            edges_per_batch: (g0.num_edges() as f64 * 0.024 / 10.0 * 10.0) as usize / 10,
+            locality: 0.8,
+            local_hops: 2,
+            seed: 21,
+        },
+    );
+
+    let mut g = DynGraph::from_graph(&g0);
+    println!("\niter  batch  incl  merge  redist   κ(G_t, H_t)   H edges   update µs");
+    let mut ingrass_total = 0.0f64;
+    for (i, batch) in stream.batches().iter().enumerate() {
+        for &(u, v, w) in batch {
+            g.add_edge(u.into(), v.into(), w)?;
+        }
+        let t = Instant::now();
+        let r = engine.insert_batch(batch, &update_cfg)?;
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        ingrass_total += us;
+        let g_now = g.to_graph();
+        let h_now = engine.sparsifier_graph();
+        let kappa = estimate_condition_number(&g_now, &h_now, &cond_opts)?.kappa;
+        println!(
+            "{:>4}  {:>5}  {:>4}  {:>5}  {:>6}   {:>11.1}   {:>7}   {:>9.0}",
+            i + 1,
+            r.batch_size,
+            r.included,
+            r.merged,
+            r.redistributed,
+            kappa,
+            h_now.num_edges(),
+            us
+        );
+    }
+
+    // Compare one GRASS-from-scratch rerun on the final graph.
+    let g_final = g.to_graph();
+    let t = Instant::now();
+    let rerun = GrassSparsifier::default().to_condition(&g_final, kappa0, &cond_opts)?;
+    let grass_s = t.elapsed().as_secs_f64();
+    let d_grass =
+        SparsifierDensity::new(g_final.num_nodes()).report_graphs(&rerun.graph, &g0);
+    let d_ingrass = SparsifierDensity::new(g_final.num_nodes())
+        .report_graphs(&engine.sparsifier_graph(), &g0);
+    println!(
+        "\nGRASS re-run (one iteration only!): {:.2} s → off-tree density {:.1} % at κ = {:.1}",
+        grass_s,
+        100.0 * d_grass.off_tree,
+        rerun.kappa.unwrap_or(f64::NAN)
+    );
+    println!(
+        "inGRASS (all 10 iterations):        {:.5} s → off-tree density {:.1} %",
+        ingrass_total / 1e6,
+        100.0 * d_ingrass.off_tree
+    );
+    Ok(())
+}

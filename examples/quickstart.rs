@@ -1,0 +1,95 @@
+//! Quickstart: sparsify a graph once, then keep the sparsifier fresh under
+//! a stream of edge insertions with inGRASS.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ingrass_repro::prelude::*;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // 1. A workload graph: a 64×64 grid with varied conductances.
+    // ------------------------------------------------------------------
+    let g0 = grid_2d(64, 64, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 1);
+    println!(
+        "original graph G(0): {} nodes, {} edges",
+        g0.num_nodes(),
+        g0.num_edges()
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Initial sparsifier H(0) via the GRASS-style baseline: spanning
+    //    tree + 10 % of the off-tree edges ranked by spectral distortion.
+    // ------------------------------------------------------------------
+    let h0 = GrassSparsifier::default().by_offtree_density(&g0, 0.10)?;
+    let kappa0 = estimate_condition_number(&g0, &h0.graph, &ConditionOptions::default())?.kappa;
+    println!(
+        "initial sparsifier H(0): {} edges, κ(L_G, L_H) = {kappa0:.1}",
+        h0.graph.num_edges()
+    );
+
+    // ------------------------------------------------------------------
+    // 3. inGRASS setup phase (once): resistance embedding + multilevel
+    //    low-resistance-diameter decomposition.
+    // ------------------------------------------------------------------
+    let t = Instant::now();
+    let mut engine = InGrassEngine::setup(&h0.graph, &SetupConfig::default())?;
+    println!(
+        "setup: {} LRD levels in {:.1} ms",
+        engine.setup_report().levels,
+        t.elapsed().as_secs_f64() * 1e3
+    );
+
+    // ------------------------------------------------------------------
+    // 4. Stream new edges in ten batches; inGRASS filters each batch in
+    //    O(log N) per edge against the target condition number.
+    // ------------------------------------------------------------------
+    let stream = InsertionStream::paper_default(&g0, 7);
+    let update_cfg = UpdateConfig {
+        target_condition: kappa0,
+        ..Default::default()
+    };
+    let mut g = DynGraph::from_graph(&g0);
+    let t = Instant::now();
+    let mut totals = (0usize, 0usize, 0usize);
+    for batch in stream.batches() {
+        for &(u, v, w) in batch {
+            g.add_edge(u.into(), v.into(), w)?;
+        }
+        let r = engine.insert_batch(batch, &update_cfg)?;
+        totals.0 += r.included;
+        totals.1 += r.merged;
+        totals.2 += r.redistributed;
+    }
+    let update_time = t.elapsed();
+    println!(
+        "updates: {} new edges in {:.2} ms — {} included, {} merged, {} redistributed",
+        stream.total_edges(),
+        update_time.as_secs_f64() * 1e3,
+        totals.0,
+        totals.1,
+        totals.2
+    );
+
+    // ------------------------------------------------------------------
+    // 5. Quality check: condition number of the maintained sparsifier
+    //    against the *updated* graph.
+    // ------------------------------------------------------------------
+    let g_now = g.to_graph();
+    let h_now = engine.sparsifier_graph();
+    let kappa_now = estimate_condition_number(&g_now, &h_now, &ConditionOptions::default())?.kappa;
+    let d = SparsifierDensity::new(g_now.num_nodes()).report_graphs(&h_now, &g0);
+    println!(
+        "after stream: H has {} edges (off-tree density {:.1} %), κ = {kappa_now:.1}",
+        h_now.num_edges(),
+        100.0 * d.off_tree
+    );
+    println!(
+        "keeping every new edge would have raised the off-tree density to {:.1} %",
+        100.0
+            * SparsifierDensity::new(g_now.num_nodes())
+                .report(h0.graph.num_edges() + stream.total_edges(), g0.num_edges())
+                .off_tree
+    );
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Streaming social-network scenario (the abstract's third domain): a
+//! heavy-tailed graph accretes friendships over time; the sparsifier that
+//! backs downstream spectral analytics (clustering, PageRank solves)
+//! updates in O(log N) per new edge.
+//!
+//! Run with: `cargo run --release --example social_stream`
+
+use ingrass_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let g0 = barabasi_albert(&BaConfig {
+        nodes: 3000,
+        attach: 6,
+        weights: WeightModel::Uniform { lo: 0.5, hi: 1.5 },
+        seed: 4,
+    });
+    println!(
+        "social graph: {} nodes, {} edges (hub degree {})",
+        g0.num_nodes(),
+        g0.num_edges(),
+        (0..g0.num_nodes())
+            .map(|u| g0.degree(u.into()))
+            .max()
+            .unwrap()
+    );
+
+    let h0 = GrassSparsifier::default().by_offtree_density(&g0, 0.10)?;
+    let cond_opts = ConditionOptions::default();
+    let kappa0 = estimate_condition_number(&g0, &h0.graph, &cond_opts)?.kappa;
+    println!("initial sparsifier κ = {kappa0:.1}");
+
+    let mut engine = InGrassEngine::setup(&h0.graph, &SetupConfig::default())?;
+    // Heavy-tailed graphs are expanders: every pair of hubs is spectrally
+    // close, so very tight targets degenerate to "include everything".
+    // Analytics pipelines accept a looser similarity here — target 3×κ0.
+    let target = 3.0 * kappa0;
+    println!("filtering against target κ = {target:.1}");
+    // New friendships: triadic closures (local) + random encounters.
+    let stream = InsertionStream::generate(
+        &g0,
+        &StreamConfig {
+            batches: 10,
+            edges_per_batch: 200,
+            locality: 0.6,
+            local_hops: 2,
+            seed: 10,
+        },
+    );
+
+    let mut g = DynGraph::from_graph(&g0);
+    let cfg = UpdateConfig {
+        target_condition: target,
+        ..Default::default()
+    };
+    for (i, batch) in stream.batches().iter().enumerate() {
+        for &(u, v, w) in batch {
+            g.add_edge(u.into(), v.into(), w)?;
+        }
+        let r = engine.insert_batch(batch, &cfg)?;
+        println!(
+            "batch {:>2}: {:>3} arrivals → {:>3} included / {:>3} merged / {:>3} redistributed ({} µs)",
+            i + 1,
+            r.batch_size,
+            r.included,
+            r.merged,
+            r.redistributed,
+            r.elapsed.as_micros()
+        );
+    }
+
+    let g_now = g.to_graph();
+    let h_now = engine.sparsifier_graph();
+    let kappa = estimate_condition_number(&g_now, &h_now, &cond_opts)?.kappa;
+    let d = SparsifierDensity::new(g_now.num_nodes()).report_graphs(&h_now, &g0);
+    println!(
+        "\nfinal: κ = {kappa:.1}, sparsifier keeps {:.1} % of off-tree edges \
+         ({} of {} stream edges made it in)",
+        100.0 * d.off_tree,
+        engine.sparsifier().num_edges() - h0.graph.num_edges(),
+        stream.total_edges()
+    );
+    Ok(())
+}

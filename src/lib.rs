@@ -1,0 +1,82 @@
+//! # ingrass-repro — inGRASS (DAC 2024), reproduced in Rust
+//!
+//! A from-scratch reproduction of *inGRASS: Incremental Graph Spectral
+//! Sparsification via Low-Resistance-Diameter Decomposition* (Aghdaei &
+//! Feng, DAC 2024), including every substrate the paper depends on.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `ingrass` | the paper's contribution: LRD decomposition, multilevel embedding, incremental engine |
+//! | [`graph`] | `ingrass-graph` | graphs, spanning trees, LCA, tree solvers, contraction |
+//! | [`linalg`] | `ingrass-linalg` | CSR/dense matrices, CG/PCG, (pencil) Lanczos |
+//! | [`resistance`] | `ingrass-resistance` | Krylov / JL / exact effective-resistance estimators |
+//! | [`gen`] | `ingrass-gen` | workload generators + the paper's benchmark suite |
+//! | [`baselines`] | `ingrass-baselines` | GRASS-style from-scratch sparsifier, Random baseline |
+//! | [`metrics`] | `ingrass-metrics` | relative condition number, density, distortion stats |
+//!
+//! The [`prelude`] pulls in the names used by virtually every program.
+//!
+//! # Example
+//!
+//! ```
+//! use ingrass_repro::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. A workload graph and its initial sparsifier.
+//! let g0 = grid_2d(16, 16, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 1);
+//! let h0 = GrassSparsifier::default().by_offtree_density(&g0, 0.10)?;
+//!
+//! // 2. inGRASS setup (once) …
+//! let mut engine = InGrassEngine::setup(&h0.graph, &SetupConfig::default())?;
+//!
+//! // 3. … then O(log N) incremental updates.
+//! let report = engine.insert_batch(
+//!     &[(0, 200, 1.0)],
+//!     &UpdateConfig { target_condition: 80.0, ..Default::default() },
+//! )?;
+//! assert_eq!(report.total_processed(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub use ingrass as core;
+pub use ingrass_baselines as baselines;
+pub use ingrass_gen as gen;
+pub use ingrass_graph as graph;
+pub use ingrass_linalg as linalg;
+pub use ingrass_metrics as metrics;
+pub use ingrass_resistance as resistance;
+
+/// The names almost every downstream program needs.
+pub mod prelude {
+    pub use ingrass::{
+        InGrassEngine, InGrassError, LrdHierarchy, ResistanceBackend, SetupConfig, UpdateConfig,
+    };
+    pub use ingrass_baselines::{GrassConfig, GrassSparsifier, RandomSparsifier, TreeKind};
+    pub use ingrass_gen::{
+        airfoil_mesh, barabasi_albert, delaunay, grid_2d, ocean_mesh, paper_suite, power_grid,
+        rmat, sphere_mesh, AirfoilConfig, BaConfig, DelaunayConfig, InsertionStream, OceanConfig,
+        PowerGridConfig, RmatConfig, SphereConfig, StreamConfig, TestCase, WeightModel,
+    };
+    pub use ingrass_graph::{DynGraph, Edge, EdgeId, Graph, GraphBuilder, NodeId};
+    pub use ingrass_metrics::{
+        estimate_condition_number, ConditionOptions, SparsifierDensity,
+    };
+    pub use ingrass_resistance::{
+        ExactResistance, JlConfig, JlEmbedder, KrylovConfig, KrylovEmbedder, ResistanceEstimator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_resolve() {
+        use crate::prelude::*;
+        let g = grid_2d(4, 4, WeightModel::Unit, 0);
+        assert_eq!(g.num_nodes(), 16);
+    }
+}

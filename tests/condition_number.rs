@@ -1,0 +1,154 @@
+//! Cross-validation of the iterative condition-number estimator against a
+//! dense generalized eigendecomposition on small graphs.
+
+use ingrass_repro::linalg::DenseMatrix;
+use ingrass_repro::prelude::*;
+
+/// Dense reference: eigenvalues of `L_H⁺ L_G` on the complement of the
+/// constant vector, via projecting both Laplacians onto an explicit
+/// orthonormal basis of `1⊥` and solving the dense pencil there with the
+/// substitution `B = R Rᵀ` (Cholesky) → standard eigenproblem.
+fn dense_pencil_extremes(g: &Graph, h: &Graph) -> (f64, f64) {
+    let n = g.num_nodes();
+    // Orthonormal basis of 1⊥: Householder-ish — columns of the identity
+    // minus the mean, re-orthonormalised via Gram-Schmidt on the fly.
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(n - 1);
+    for i in 0..n - 1 {
+        let mut v = vec![-1.0 / n as f64; n];
+        v[i] += 1.0;
+        // Orthogonalise against previous basis vectors.
+        for b in &basis {
+            let c: f64 = v.iter().zip(b).map(|(a, b)| a * b).sum();
+            for (vi, bi) in v.iter_mut().zip(b) {
+                *vi -= c * bi;
+            }
+        }
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        for vi in v.iter_mut() {
+            *vi /= norm;
+        }
+        basis.push(v);
+    }
+    let lg = DenseMatrix::from_csr(&g.laplacian());
+    let lh = DenseMatrix::from_csr(&h.laplacian());
+    let project = |m: &DenseMatrix| -> DenseMatrix {
+        let k = basis.len();
+        let mut out = DenseMatrix::zeros(k, k);
+        for (i, bi) in basis.iter().enumerate() {
+            let mbi = m.matvec(bi);
+            for (j, bj) in basis.iter().enumerate() {
+                let v: f64 = mbi.iter().zip(bj).map(|(a, b)| a * b).sum();
+                out.set(j, i, v);
+            }
+        }
+        out
+    };
+    let a = project(&lg);
+    let b = project(&lh);
+    // B = L Lᵀ; pencil (A, B) ≅ symmetric L⁻¹ A L⁻ᵀ.
+    let l = b.cholesky().expect("projected L_H is SPD on 1⊥");
+    let k = basis.len();
+    // Solve L X = A (forward substitution per column), then L Y = Xᵀ.
+    let fwd = |l: &DenseMatrix, m: &DenseMatrix| -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(k, k);
+        for col in 0..k {
+            let mut y = vec![0.0; k];
+            for i in 0..k {
+                let mut acc = m.get(i, col);
+                for j in 0..i {
+                    acc -= l.get(i, j) * y[j];
+                }
+                y[i] = acc / l.get(i, i);
+            }
+            for i in 0..k {
+                out.set(i, col, y[i]);
+            }
+        }
+        out
+    };
+    let x = fwd(&l, &a);
+    // transpose x then forward-substitute again: C = L⁻¹ A L⁻ᵀ.
+    let mut xt = DenseMatrix::zeros(k, k);
+    for i in 0..k {
+        for j in 0..k {
+            xt.set(i, j, x.get(j, i));
+        }
+    }
+    let c = fwd(&l, &xt);
+    let (vals, _) = c.symmetric_eigen().expect("dense eigen");
+    (vals[0], *vals.last().unwrap())
+}
+
+#[test]
+fn iterative_estimator_matches_dense_reference_on_subgraph() {
+    let g = grid_2d(6, 6, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 4);
+    let h = GrassSparsifier::default()
+        .by_offtree_density(&g, 0.2)
+        .unwrap()
+        .graph;
+    let (lo, hi) = dense_pencil_extremes(&g, &h);
+    let est = estimate_condition_number(&g, &h, &ConditionOptions::default()).unwrap();
+    assert!(
+        (est.lambda_max - hi).abs() / hi < 0.02,
+        "λmax {} vs dense {}",
+        est.lambda_max,
+        hi
+    );
+    assert!(
+        (est.lambda_min - lo).abs() / lo < 0.05,
+        "λmin {} vs dense {}",
+        est.lambda_min,
+        lo
+    );
+    let dense_kappa = hi / lo;
+    assert!(
+        (est.kappa - dense_kappa).abs() / dense_kappa < 0.06,
+        "κ {} vs dense {}",
+        est.kappa,
+        dense_kappa
+    );
+}
+
+#[test]
+fn iterative_estimator_matches_dense_reference_on_reweighted_sparsifier() {
+    // Reweighted H (inGRASS-style weight absorption) — λmin ≠ 1.
+    let g = grid_2d(5, 5, WeightModel::Unit, 1);
+    let h0 = GrassSparsifier::default()
+        .by_offtree_density(&g, 0.2)
+        .unwrap()
+        .graph;
+    let edges: Vec<(usize, usize, f64)> = h0
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let scale = if i % 3 == 0 { 1.8 } else { 1.0 };
+            (e.u.index(), e.v.index(), e.weight * scale)
+        })
+        .collect();
+    let h = Graph::from_edges(25, &edges).unwrap();
+    let (lo, hi) = dense_pencil_extremes(&g, &h);
+    assert!(lo < 1.0, "reweighting must push λmin below 1, got {lo}");
+    let est = estimate_condition_number(&g, &h, &ConditionOptions::default()).unwrap();
+    assert!((est.lambda_max - hi).abs() / hi < 0.03);
+    assert!((est.lambda_min - lo).abs() / lo < 0.06);
+}
+
+#[test]
+fn subgraph_lambda_min_is_one() {
+    // For a strict subgraph with unchanged weights, λmin(L_H⁺L_G) = 1
+    // exactly (G = H + extra PSD terms).
+    let g = grid_2d(7, 7, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 8);
+    let h = GrassSparsifier::default()
+        .by_offtree_density(&g, 0.3)
+        .unwrap()
+        .graph;
+    let est = estimate_condition_number(&g, &h, &ConditionOptions::default()).unwrap();
+    assert!(
+        (est.lambda_min - 1.0).abs() < 1e-3,
+        "λmin {}",
+        est.lambda_min
+    );
+    assert!(est.lambda_max >= 1.0);
+    assert!((est.kappa - est.lambda_max).abs() / est.kappa < 2e-3);
+}

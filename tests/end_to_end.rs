@@ -1,0 +1,145 @@
+//! End-to-end pipeline tests across workload families: generate a graph,
+//! sparsify, run the inGRASS setup + update phases, and verify the
+//! maintained sparsifier against the updated graph.
+
+use ingrass_repro::prelude::*;
+
+/// Adds the stream edges to a copy of `g`.
+fn updated_graph(g: &Graph, stream: &InsertionStream) -> Graph {
+    let mut d = DynGraph::from_graph(g);
+    for batch in stream.batches() {
+        for &(u, v, w) in batch {
+            d.add_edge(u.into(), v.into(), w).unwrap();
+        }
+    }
+    d.to_graph()
+}
+
+fn run_family(name: &str, g0: Graph) {
+    let h0 = GrassSparsifier::default()
+        .by_offtree_density(&g0, 0.10)
+        .unwrap_or_else(|e| panic!("{name}: sparsify failed: {e}"));
+    let cond_opts = ConditionOptions::default();
+    let initial = estimate_condition_number(&g0, &h0.graph, &cond_opts).unwrap();
+
+    let mut engine = InGrassEngine::setup(&h0.graph, &SetupConfig::default()).unwrap();
+    let stream = InsertionStream::paper_default(&g0, 11);
+    let cfg = UpdateConfig {
+        target_condition: initial.lambda_max,
+        ..Default::default()
+    };
+    let mut filtering_level = 0usize;
+    for batch in stream.batches() {
+        let r = engine.insert_batch(batch, &cfg).unwrap();
+        assert_eq!(r.total_processed(), r.batch_size, "{name}: lost edges");
+        filtering_level = r.filtering_level;
+    }
+
+    let g_now = updated_graph(&g0, &stream);
+    let h_now = engine.sparsifier_graph();
+
+    // 1. Still connected, still sparse.
+    assert!(ingrass_repro::graph::is_connected(&h_now), "{name}");
+    let d_all = SparsifierDensity::new(g_now.num_nodes())
+        .report(h0.graph.num_edges() + stream.total_edges(), g0.num_edges());
+    let d_ingrass = SparsifierDensity::new(g_now.num_nodes()).report_graphs(&h_now, &g0);
+    if filtering_level > 0 {
+        // With a non-trivial filtering level some arrivals must be merged
+        // or redistributed. (Expander-like graphs with tight targets keep
+        // level 0, where including everything is the correct behaviour.)
+        assert!(
+            d_ingrass.off_tree < d_all.off_tree,
+            "{name}: no filtering happened ({} vs {})",
+            d_ingrass.off_tree,
+            d_all.off_tree
+        );
+    }
+    assert!(d_ingrass.off_tree <= d_all.off_tree + 1e-12, "{name}");
+
+    // 2. Maintenance helps: λmax(L_H⁺L_G) of the maintained sparsifier
+    //    beats the stale one against the updated graph.
+    let stale = estimate_condition_number(&g_now, &h0.graph, &cond_opts).unwrap();
+    let maintained = estimate_condition_number(&g_now, &h_now, &cond_opts).unwrap();
+    assert!(
+        maintained.lambda_max <= stale.lambda_max * 1.05,
+        "{name}: maintained λmax {} vs stale {}",
+        maintained.lambda_max,
+        stale.lambda_max
+    );
+
+    // 3. λmax stays within a reasonable factor of the target.
+    assert!(
+        maintained.lambda_max <= 3.0 * initial.lambda_max,
+        "{name}: λmax {} blew past target {}",
+        maintained.lambda_max,
+        initial.lambda_max
+    );
+}
+
+#[test]
+fn grid_family() {
+    run_family(
+        "grid",
+        grid_2d(24, 24, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 1),
+    );
+}
+
+#[test]
+fn power_grid_family() {
+    run_family(
+        "power_grid",
+        power_grid(&PowerGridConfig {
+            width: 20,
+            height: 20,
+            ..Default::default()
+        }),
+    );
+}
+
+#[test]
+fn delaunay_family() {
+    run_family(
+        "delaunay",
+        delaunay(&DelaunayConfig {
+            points: 700,
+            seed: 5,
+            ..Default::default()
+        })
+        .unwrap(),
+    );
+}
+
+#[test]
+fn mesh_family() {
+    run_family(
+        "airfoil",
+        airfoil_mesh(&AirfoilConfig {
+            points: 700,
+            thickness: 0.15,
+            seed: 6,
+        })
+        .unwrap(),
+    );
+}
+
+#[test]
+fn social_family() {
+    run_family(
+        "barabasi_albert",
+        barabasi_albert(&BaConfig {
+            nodes: 600,
+            attach: 4,
+            weights: WeightModel::Uniform { lo: 0.5, hi: 1.5 },
+            seed: 7,
+        }),
+    );
+}
+
+#[test]
+fn suite_cases_run_end_to_end_at_tiny_scale() {
+    // Exercise the actual benchmark-suite path for a couple of cases.
+    for case in [TestCase::G2Circuit, TestCase::DelaunayN18, TestCase::FeSphere] {
+        let g = case.build(0.004, 3);
+        run_family(case.name(), g);
+    }
+}
