@@ -254,8 +254,12 @@ mod tests {
         let lo = grass.by_offtree_density(&g, 0.05).unwrap();
         let hi = grass.by_offtree_density(&g, 0.30).unwrap();
         let opts = ConditionOptions::default();
-        let k_lo = estimate_condition_number(&g, &lo.graph, &opts).unwrap().kappa;
-        let k_hi = estimate_condition_number(&g, &hi.graph, &opts).unwrap().kappa;
+        let k_lo = estimate_condition_number(&g, &lo.graph, &opts)
+            .unwrap()
+            .kappa;
+        let k_hi = estimate_condition_number(&g, &hi.graph, &opts)
+            .unwrap()
+            .kappa;
         assert!(k_hi < k_lo, "dense κ {k_hi} vs sparse κ {k_lo}");
     }
 
@@ -312,9 +316,12 @@ mod tests {
             TreeKind::EffectiveWeight,
             TreeKind::LowStretch(5),
         ] {
-            let out = GrassSparsifier::new(GrassConfig { tree: kind, ..Default::default() })
-                .by_offtree_density(&g, 0.1)
-                .unwrap();
+            let out = GrassSparsifier::new(GrassConfig {
+                tree: kind,
+                ..Default::default()
+            })
+            .by_offtree_density(&g, 0.1)
+            .unwrap();
             assert!(ingrass_graph::is_connected(&out.graph), "{kind:?}");
         }
     }

@@ -35,9 +35,7 @@ impl RandomSparsifier {
         density: f64,
     ) -> Result<SparsifierOutput, GraphError> {
         let tree = kruskal_tree(g, TreeObjective::MaxWeight)?;
-        let mut off: Vec<usize> = (0..g.num_edges())
-            .filter(|&e| !tree.in_tree[e])
-            .collect();
+        let mut off: Vec<usize> = (0..g.num_edges()).filter(|&e| !tree.in_tree[e]).collect();
         let mut rng = StdRng::seed_from_u64(self.seed);
         // Fisher–Yates prefix shuffle.
         for i in (1..off.len()).rev() {
@@ -126,10 +124,16 @@ mod tests {
     #[test]
     fn random_density_selection_is_seeded_and_sized() {
         let g = grid_2d(12, 12, WeightModel::Unit, 3);
-        let a = RandomSparsifier::new(5).by_offtree_density(&g, 0.2).unwrap();
-        let b = RandomSparsifier::new(5).by_offtree_density(&g, 0.2).unwrap();
+        let a = RandomSparsifier::new(5)
+            .by_offtree_density(&g, 0.2)
+            .unwrap();
+        let b = RandomSparsifier::new(5)
+            .by_offtree_density(&g, 0.2)
+            .unwrap();
         assert_eq!(a.in_sparsifier, b.in_sparsifier);
-        let c = RandomSparsifier::new(6).by_offtree_density(&g, 0.2).unwrap();
+        let c = RandomSparsifier::new(6)
+            .by_offtree_density(&g, 0.2)
+            .unwrap();
         assert_ne!(a.in_sparsifier, c.in_sparsifier);
         let off_total = g.num_edges() - (g.num_nodes() - 1);
         assert_eq!(a.offtree_added, ((off_total as f64) * 0.2).round() as usize);
@@ -138,7 +142,9 @@ mod tests {
     #[test]
     fn random_update_reaches_loose_target() {
         let g = grid_2d(10, 10, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 1);
-        let h0 = RandomSparsifier::new(1).by_offtree_density(&g, 0.1).unwrap();
+        let h0 = RandomSparsifier::new(1)
+            .by_offtree_density(&g, 0.1)
+            .unwrap();
         // Insert a stream of new edges into G.
         let stream = InsertionStream::generate(
             &g,
@@ -163,8 +169,9 @@ mod tests {
         let k_now = estimate_condition_number(&g_updated, &h0.graph, &opts)
             .unwrap()
             .kappa;
-        let out = random_update_to_condition(&g_updated, &h0.graph, new_edges, k_now * 1.1, &opts, 9)
-            .unwrap();
+        let out =
+            random_update_to_condition(&g_updated, &h0.graph, new_edges, k_now * 1.1, &opts, 9)
+                .unwrap();
         assert!(out.included <= new_edges.len());
         assert!(out.kappa <= k_now * 1.1 + 1e-9 || out.included == new_edges.len());
     }
@@ -172,7 +179,9 @@ mod tests {
     #[test]
     fn random_update_includes_everything_for_impossible_target() {
         let g = grid_2d(8, 8, WeightModel::Unit, 2);
-        let h0 = RandomSparsifier::new(2).by_offtree_density(&g, 0.1).unwrap();
+        let h0 = RandomSparsifier::new(2)
+            .by_offtree_density(&g, 0.1)
+            .unwrap();
         let stream = InsertionStream::generate(
             &g,
             &StreamConfig {

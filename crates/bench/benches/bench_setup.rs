@@ -21,13 +21,9 @@ fn bench_setup(c: &mut Criterion) {
             .by_offtree_density(&g0, 0.10)
             .expect("sparsify")
             .graph;
-        group.bench_with_input(
-            BenchmarkId::new("full_setup", case.name()),
-            &h0,
-            |b, h0| {
-                b.iter(|| InGrassEngine::setup(h0, &SetupConfig::default()).expect("setup"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("full_setup", case.name()), &h0, |b, h0| {
+            b.iter(|| InGrassEngine::setup(h0, &SetupConfig::default()).expect("setup"));
+        });
     }
     group.finish();
 }
@@ -43,13 +39,9 @@ fn bench_setup_scaling(c: &mut Criterion) {
             .by_offtree_density(&g0, 0.10)
             .expect("sparsify")
             .graph;
-        group.bench_with_input(
-            BenchmarkId::from_parameter(g0.num_nodes()),
-            &h0,
-            |b, h0| {
-                b.iter(|| InGrassEngine::setup(h0, &SetupConfig::default()).expect("setup"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(g0.num_nodes()), &h0, |b, h0| {
+            b.iter(|| InGrassEngine::setup(h0, &SetupConfig::default()).expect("setup"));
+        });
     }
     group.finish();
 }

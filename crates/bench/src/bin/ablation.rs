@@ -24,7 +24,11 @@ fn main() {
         "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "case", "maxW/topk", "maxW/peel", "effW/topk", "effW/peel", "lsst/topk", "lsst/peel"
     );
-    for case in [TestCase::G2Circuit, TestCase::DelaunayN18, TestCase::FeSphere] {
+    for case in [
+        TestCase::G2Circuit,
+        TestCase::DelaunayN18,
+        TestCase::FeSphere,
+    ] {
         let g0 = case.build(opts.scale, opts.seed);
         print!("{:<14}", case.name());
         for tree in [

@@ -31,9 +31,8 @@ fn main() {
 
         // Setup column: the inGRASS one-time setup on H(0).
         let t = Instant::now();
-        let engine =
-            InGrassEngine::setup(&h0.graph, &SetupConfig::default().with_seed(opts.seed))
-                .expect("setup");
+        let engine = InGrassEngine::setup(&h0.graph, &SetupConfig::default().with_seed(opts.seed))
+            .expect("setup");
         let setup_s = t.elapsed().as_secs_f64();
 
         println!(

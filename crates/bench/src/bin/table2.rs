@@ -14,7 +14,15 @@ fn main() {
     );
     println!(
         "{:<14} {:>13} {:>14} {:>8} {:>9} {:>9} {:>9} {:>9} {:>8} | paper ×",
-        "case", "D0→Dall", "κ0→κstale", "GRASS-D", "inGRASS-D", "Random-D", "GRASS-T", "inGRASS-T", "speedup"
+        "case",
+        "D0→Dall",
+        "κ0→κstale",
+        "GRASS-D",
+        "inGRASS-D",
+        "Random-D",
+        "GRASS-T",
+        "inGRASS-T",
+        "speedup"
     );
     let mut csv = Vec::new();
     for case in &opts.cases {

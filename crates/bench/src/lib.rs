@@ -86,7 +86,9 @@ impl HarnessOptions {
                     assert!(!opts.cases.is_empty(), "no cases matched {list}");
                     i += 2;
                 }
-                other => panic!("unknown argument {other} (expected --scale/--seed/--cases/--density)"),
+                other => {
+                    panic!("unknown argument {other} (expected --scale/--seed/--cases/--density)")
+                }
             }
         }
         opts
@@ -197,8 +199,7 @@ pub fn run_case(case: TestCase, g0: &Graph, opts: &HarnessOptions) -> CaseResult
         g_per_iter.push(g_cum.to_graph());
     }
     let g_final = g_per_iter.last().expect("at least one batch").clone();
-    let density_all =
-        density.report(h0.graph.num_edges() + stream.total_edges(), g0.num_edges());
+    let density_all = density.report(h0.graph.num_edges() + stream.total_edges(), g0.num_edges());
     let kappa_stale = estimate_condition_number(&g_final, &h0.graph, &cond)
         .expect("stale condition estimate")
         .lambda_max;
@@ -311,7 +312,7 @@ mod tests {
     fn fmt_secs_ranges() {
         assert_eq!(fmt_secs(2.5), "2.50 s");
         assert_eq!(fmt_secs(0.0025), "2.50 ms");
-        assert_eq!(fmt_secs(0.0000025), "2 µs");  // {:.0} uses banker-style rounding
+        assert_eq!(fmt_secs(0.0000025), "2 µs"); // {:.0} uses banker-style rounding
     }
 
     #[test]

@@ -42,13 +42,7 @@ impl ClusterConnectivity {
     }
 
     /// Registers a (new) sparsifier edge at every level.
-    pub fn register_edge(
-        &mut self,
-        hierarchy: &LrdHierarchy,
-        id: EdgeId,
-        u: NodeId,
-        v: NodeId,
-    ) {
+    pub fn register_edge(&mut self, hierarchy: &LrdHierarchy, id: EdgeId, u: NodeId, v: NodeId) {
         for (level, lvl) in hierarchy.levels().iter().enumerate() {
             let (mut cu, mut cv) = (lvl.cluster_of[u.index()], lvl.cluster_of[v.index()]);
             if cu == cv {
@@ -170,8 +164,8 @@ mod tests {
 
     #[test]
     fn representative_is_first_registered() {
-        let g = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0), (0, 2, 1.0), (1, 3, 1.0)])
-            .unwrap();
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0), (0, 2, 1.0), (1, 3, 1.0)]).unwrap();
         let r = vec![1.0, 1.0, 1.0, 1.0];
         let h = LrdHierarchy::build(&g, &r, Some(1.5), 4.0, 64).unwrap();
         let d = DynGraph::from_graph(&g);
@@ -186,9 +180,7 @@ mod tests {
                     let e = d.edge(rep).unwrap();
                     let crossings: Vec<EdgeId> = d
                         .edges_iter()
-                        .filter(|(_, e)| {
-                            lvl.cluster_of[e.u.index()] != lvl.cluster_of[e.v.index()]
-                        })
+                        .filter(|(_, e)| lvl.cluster_of[e.u.index()] != lvl.cluster_of[e.v.index()])
                         .map(|(i, _)| i)
                         .collect();
                     assert!(crossings.contains(&rep));

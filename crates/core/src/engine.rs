@@ -61,9 +61,7 @@ impl InGrassEngine {
                     .map_err(|e| InGrassError::BadSparsifier(e.to_string()))?;
                 emb.edge_resistances(h0)
             }
-            ResistanceBackend::LocalOnly => {
-                h0.edges().iter().map(|e| 1.0 / e.weight).collect()
-            }
+            ResistanceBackend::LocalOnly => h0.edges().iter().map(|e| 1.0 / e.weight).collect(),
         };
         let resistance_time = t.elapsed();
 
@@ -136,7 +134,7 @@ impl InGrassEngine {
             if u == v {
                 return Err(InGrassError::Graph(format!("self-loop at node {u}")));
             }
-            if !(w > 0.0) || !w.is_finite() {
+            if w <= 0.0 || !w.is_finite() {
                 return Err(InGrassError::Graph(format!(
                     "edge ({u},{v}) has invalid weight {w}"
                 )));
@@ -163,10 +161,7 @@ impl InGrassEngine {
         if cfg.sort_by_distortion {
             order.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         }
-        let max_distortion = order
-            .iter()
-            .map(|&(_, d)| d)
-            .fold(0.0f64, f64::max);
+        let max_distortion = order.iter().map(|&(_, d)| d).fold(0.0f64, f64::max);
 
         // Spectral similarity filtering (update phase 2).
         let mut included = 0usize;
@@ -194,13 +189,7 @@ impl InGrassEngine {
     }
 
     /// Applies one edge at the given filtering level and reports its fate.
-    fn apply_edge(
-        &mut self,
-        u: NodeId,
-        v: NodeId,
-        w: f64,
-        level: usize,
-    ) -> Result<EdgeOutcome> {
+    fn apply_edge(&mut self, u: NodeId, v: NodeId, w: f64, level: usize) -> Result<EdgeOutcome> {
         let lvl = self.hierarchy.level(level);
         let (cu, cv) = (lvl.cluster_of[u.index()], lvl.cluster_of[v.index()]);
 
@@ -314,7 +303,11 @@ mod tests {
         let engine = InGrassEngine::setup(&h0, &SetupConfig::default()).unwrap();
         let report = engine.setup_report();
         assert_eq!(report.nodes, 256);
-        assert!(report.levels >= 3 && report.levels <= 24, "{}", report.levels);
+        assert!(
+            report.levels >= 3 && report.levels <= 24,
+            "{}",
+            report.levels
+        );
         assert_eq!(engine.sparsifier().num_edges(), h0.num_edges());
     }
 
@@ -380,9 +373,7 @@ mod tests {
         let (mu, mv) = merge_pair.expect("connected cluster pairs exist");
 
         let before_edges = engine.sparsifier().num_edges();
-        let r1 = engine
-            .insert_batch(&[(iu, iv, 1.0)], &cfg)
-            .unwrap();
+        let r1 = engine.insert_batch(&[(iu, iv, 1.0)], &cfg).unwrap();
         assert_eq!(r1.redistributed, 1, "intra-cluster edge must redistribute");
         assert_eq!(engine.sparsifier().num_edges(), before_edges);
 
@@ -445,7 +436,9 @@ mod tests {
         let mut engine = InGrassEngine::setup(&h0, &SetupConfig::default()).unwrap();
         let stream = InsertionStream::paper_default(&g, 8);
         for batch in stream.batches() {
-            engine.insert_batch(batch, &UpdateConfig::default()).unwrap();
+            engine
+                .insert_batch(batch, &UpdateConfig::default())
+                .unwrap();
         }
         assert!(is_connected(&engine.sparsifier_graph()));
         assert_eq!(engine.updates_applied(), stream.total_edges());
@@ -609,7 +602,10 @@ mod tests {
             .sparsifier()
             .edge_weight(rep_edge.u, rep_edge.v)
             .unwrap();
-        assert!((after - before - 2.5).abs() < 1e-12, "weight went elsewhere");
+        assert!(
+            (after - before - 2.5).abs() < 1e-12,
+            "weight went elsewhere"
+        );
     }
 
     #[test]
@@ -629,7 +625,7 @@ mod tests {
             .insert_batch(
                 &stream.batches()[0],
                 &UpdateConfig {
-                    target_condition: 4.0, // would pick a fine level…
+                    target_condition: 4.0,               // would pick a fine level…
                     filtering_level_override: Some(top), // …but we force the top
                     ..Default::default()
                 },
@@ -658,16 +654,11 @@ mod tests {
             ResistanceBackend::Jl(ingrass_resistance::JlConfig::default()),
             ResistanceBackend::LocalOnly,
         ] {
-            let engine = InGrassEngine::setup(
-                &h0,
-                &SetupConfig::default().with_resistance(backend),
-            )
-            .unwrap();
+            let engine =
+                InGrassEngine::setup(&h0, &SetupConfig::default().with_resistance(backend))
+                    .unwrap();
             assert!(engine.setup_report().levels >= 2);
-            assert_eq!(
-                engine.hierarchy().levels().last().unwrap().num_clusters,
-                1
-            );
+            assert_eq!(engine.hierarchy().levels().last().unwrap().num_clusters, 1);
         }
     }
 

@@ -75,7 +75,7 @@ impl LrdHierarchy {
                 h0.num_edges()
             )));
         }
-        if !(growth > 1.0) || !growth.is_finite() {
+        if growth <= 1.0 || !growth.is_finite() {
             return Err(InGrassError::InvalidConfig(format!(
                 "diameter growth must be a finite number > 1, got {growth}"
             )));
@@ -188,7 +188,7 @@ impl LrdHierarchy {
                 .into_iter()
                 .map(|((a, b), cond)| (a, b, 1.0 / cond))
                 .collect();
-            inter.sort_unstable_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+            inter.sort_unstable_by_key(|x| (x.0, x.1));
 
             cluster_of = node_cluster.clone();
             diameter = new_diam.clone();

@@ -71,10 +71,8 @@ fn in_circumcircle(a: (f64, f64), b: (f64, f64), c: (f64, f64), p: (f64, f64)) -
     let (ax, ay) = (a.0 - p.0, a.1 - p.1);
     let (bx, by) = (b.0 - p.0, b.1 - p.1);
     let (cx, cy) = (c.0 - p.0, c.1 - p.1);
-    let det = (ax * ax + ay * ay) * (bx * cy - by * cx)
-        - (bx * bx + by * by) * (ax * cy - ay * cx)
-        + (cx * cx + cy * cy) * (ax * by - ay * bx)
-        ;
+    let det = (ax * ax + ay * ay) * (bx * cy - by * cx) - (bx * bx + by * by) * (ax * cy - ay * cx)
+        + (cx * cx + cy * cy) * (ax * by - ay * bx);
     det > 0.0
 }
 
@@ -268,7 +266,7 @@ pub(crate) fn triangulate(points: &[(f64, f64)]) -> Vec<[u32; 3]> {
             tris.push(Tri {
                 v: [a, b, pi],
                 n: [NONE, NONE, outer],
-            alive: true,
+                alive: true,
             });
             if first_new == NONE {
                 first_new = ti;

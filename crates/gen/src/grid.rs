@@ -116,13 +116,21 @@ pub fn power_grid(cfg: &PowerGridConfig) -> Graph {
         for y in 0..h {
             for x in 0..w {
                 if x + 1 < w {
-                    let base = if horizontal { cond } else { cond * cfg.cross_factor };
+                    let base = if horizontal {
+                        cond
+                    } else {
+                        cond * cfg.cross_factor
+                    };
                     let wgt = jittered(base, &mut rng);
                     b.add_edge(id(layer, y, x), id(layer, y, x + 1), wgt)
                         .expect("grid indices valid");
                 }
                 if y + 1 < h {
-                    let base = if horizontal { cond * cfg.cross_factor } else { cond };
+                    let base = if horizontal {
+                        cond * cfg.cross_factor
+                    } else {
+                        cond
+                    };
                     let wgt = jittered(base, &mut rng);
                     b.add_edge(id(layer, y, x), id(layer, y + 1, x), wgt)
                         .expect("grid indices valid");

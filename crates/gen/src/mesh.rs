@@ -48,7 +48,11 @@ pub fn sphere_mesh(cfg: &SphereConfig) -> Graph {
         for j in 0..s {
             let jitter = 0.3 * (rng.random::<f64>() - 0.5) / r as f64;
             let phi = 2.0 * std::f64::consts::PI * (j as f64 / s as f64) + jitter;
-            pos.push((theta.sin() * phi.cos(), theta.sin() * phi.sin(), theta.cos()));
+            pos.push((
+                theta.sin() * phi.cos(),
+                theta.sin() * phi.sin(),
+                theta.cos(),
+            ));
         }
     }
     pos.push((0.0, 0.0, -1.0)); // south pole = n-1

@@ -70,11 +70,8 @@ impl InsertionStream {
         let n = g.num_nodes();
         assert!(n >= 2, "stream needs at least two nodes");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut used: HashSet<(u32, u32)> = g
-            .edges()
-            .iter()
-            .map(|e| (e.u.raw(), e.v.raw()))
-            .collect();
+        let mut used: HashSet<(u32, u32)> =
+            g.edges().iter().map(|e| (e.u.raw(), e.v.raw())).collect();
         // Empirical weight sampler: reuse the base graph's weight
         // distribution so inserted edges look like real wires.
         let sample_weight = |rng: &mut StdRng| -> f64 {
@@ -131,7 +128,9 @@ impl InsertionStream {
     /// sparsifier's condition measure degrades by ≈ 3–5×, the regime the
     /// paper's `κ → κ_perturbed` columns report (e.g. 88 → 353).
     pub fn paper_default(g: &Graph, seed: u64) -> Self {
-        let off_tree = g.num_edges().saturating_sub(g.num_nodes().saturating_sub(1));
+        let off_tree = g
+            .num_edges()
+            .saturating_sub(g.num_nodes().saturating_sub(1));
         let total = ((off_tree as f64) * 0.24).ceil() as usize;
         let per_batch = (total / 10).max(1);
         Self::generate(

@@ -2,7 +2,9 @@
 
 use crate::delaunay::{delaunay, DelaunayConfig, PointDistribution};
 use crate::grid::{power_grid, PowerGridConfig};
-use crate::mesh::{airfoil_mesh, ocean_mesh, sphere_mesh, AirfoilConfig, OceanConfig, SphereConfig};
+use crate::mesh::{
+    airfoil_mesh, ocean_mesh, sphere_mesh, AirfoilConfig, OceanConfig, SphereConfig,
+};
 use ingrass_graph::Graph;
 
 /// One row of the paper's benchmark tables (Tables I/II), mapped onto the

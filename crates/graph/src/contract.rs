@@ -40,7 +40,8 @@ pub fn quotient_graph(g: &Graph, cluster_of: &[u32], num_clusters: usize) -> (Gr
         "cluster assignment length mismatch"
     );
     // (cu, cv) -> (summed weight, representative edge id, representative weight)
-    let mut acc: HashMap<(u32, u32), (f64, u32, f64)> = HashMap::new();
+    type MergedEdge = (f64, u32, f64);
+    let mut acc: HashMap<(u32, u32), MergedEdge> = HashMap::new();
     for (i, e) in g.edges().iter().enumerate() {
         let (mut cu, mut cv) = (cluster_of[e.u.index()], cluster_of[e.v.index()]);
         assert!(
@@ -60,7 +61,7 @@ pub fn quotient_graph(g: &Graph, cluster_of: &[u32], num_clusters: usize) -> (Gr
             entry.2 = e.weight;
         }
     }
-    let mut items: Vec<((u32, u32), (f64, u32, f64))> = acc.into_iter().collect();
+    let mut items: Vec<((u32, u32), MergedEdge)> = acc.into_iter().collect();
     items.sort_unstable_by_key(|&(k, _)| k);
     let edges: Vec<(usize, usize, f64)> = items
         .iter()
@@ -70,8 +71,8 @@ pub fn quotient_graph(g: &Graph, cluster_of: &[u32], num_clusters: usize) -> (Gr
         .iter()
         .map(|&(_, (_, rep, _))| EdgeId::from(rep))
         .collect();
-    let q = Graph::from_edges(num_clusters, &edges)
-        .expect("quotient edges are valid by construction");
+    let q =
+        Graph::from_edges(num_clusters, &edges).expect("quotient edges are valid by construction");
     // `Graph` sorts canonical edges by (u, v); `items` is sorted the same
     // way and contains no duplicates, so ids line up.
     debug_assert_eq!(q.num_edges(), reps.len());
@@ -85,8 +86,8 @@ mod tests {
     #[test]
     fn parallel_edges_sum_and_representative_is_heaviest() {
         // Two clusters joined by two edges (weights 1 and 5).
-        let g = Graph::from_edges(4, &[(0, 1, 9.0), (2, 3, 9.0), (0, 2, 1.0), (1, 3, 5.0)])
-            .unwrap();
+        let g =
+            Graph::from_edges(4, &[(0, 1, 9.0), (2, 3, 9.0), (0, 2, 1.0), (1, 3, 5.0)]).unwrap();
         let (q, reps) = quotient_graph(&g, &[0, 0, 1, 1], 2);
         assert_eq!(q.num_edges(), 1);
         assert_eq!(q.edges()[0].weight, 6.0);

@@ -112,7 +112,7 @@ impl DynGraph {
         if u == v {
             return Err(GraphError::InvalidEdge("self-loop".into()));
         }
-        if !(w > 0.0) || !w.is_finite() {
+        if w <= 0.0 || !w.is_finite() {
             return Err(GraphError::InvalidEdge(format!(
                 "weight must be positive and finite, got {w}"
             )));
@@ -146,7 +146,7 @@ impl DynGraph {
             .and_then(|s| s.as_mut())
             .ok_or_else(|| GraphError::InvalidEdge(format!("edge {e} does not exist")))?;
         let new_w = slot.weight + dw;
-        if !(new_w > 0.0) || !new_w.is_finite() {
+        if new_w <= 0.0 || !new_w.is_finite() {
             return Err(GraphError::InvalidEdge(format!(
                 "weight update would make weight {new_w}"
             )));
@@ -170,7 +170,9 @@ impl DynGraph {
 
     /// Weight of the edge `{u, v}`, if present.
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
-        self.edge_id(u, v).and_then(|e| self.edge(e)).map(|e| e.weight)
+        self.edge_id(u, v)
+            .and_then(|e| self.edge(e))
+            .map(|e| e.weight)
     }
 
     /// Live neighbours of `u` as `(neighbour, edge id, weight)`.
@@ -179,8 +181,7 @@ impl DynGraph {
     /// Panics if `u` is out of bounds.
     pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = (NodeId, EdgeId, f64)> + '_ {
         self.adj[u.index()].iter().filter_map(move |&(v, id)| {
-            self.edges[id as usize]
-                .map(|e| (NodeId::from(v), EdgeId::from(id), e.weight))
+            self.edges[id as usize].map(|e| (NodeId::from(v), EdgeId::from(id), e.weight))
         })
     }
 

@@ -279,13 +279,14 @@ impl GraphBuilder {
                 num_nodes: self.n,
             });
         }
-        if !(weight > 0.0) || !weight.is_finite() {
+        if weight <= 0.0 || !weight.is_finite() {
             return Err(GraphError::InvalidEdge(format!(
                 "weight must be positive and finite, got {weight}"
             )));
         }
         if u != v {
-            self.edges.push(Edge::new(NodeId::new(u), NodeId::new(v), weight));
+            self.edges
+                .push(Edge::new(NodeId::new(u), NodeId::new(v), weight));
         }
         Ok(self)
     }

@@ -139,7 +139,9 @@ mod tests {
     }
 
     fn chain(n: usize) -> Tree {
-        let parent: Vec<u32> = (0..n).map(|i| if i == 0 { 0 } else { i as u32 - 1 }).collect();
+        let parent: Vec<u32> = (0..n)
+            .map(|i| if i == 0 { 0 } else { i as u32 - 1 })
+            .collect();
         let weight: Vec<f64> = vec![1.0; n];
         Tree::from_parent(0.into(), parent, weight).unwrap()
     }
@@ -156,7 +158,9 @@ mod tests {
     #[test]
     fn lca_on_balanced_binary_tree() {
         // Nodes 0..7: node i has parent (i-1)/2.
-        let parent: Vec<u32> = (0..7).map(|i: u32| if i == 0 { 0 } else { (i - 1) / 2 }).collect();
+        let parent: Vec<u32> = (0..7)
+            .map(|i: u32| if i == 0 { 0 } else { (i - 1) / 2 })
+            .collect();
         let t = Tree::from_parent(0.into(), parent, vec![1.0; 7]).unwrap();
         let idx = LcaIndex::new(&t);
         assert_eq!(idx.lca(3.into(), 4.into()), NodeId::new(1));

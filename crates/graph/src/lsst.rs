@@ -257,7 +257,7 @@ fn lsst_mask(g: &Graph, rng: &mut StdRng, depth: usize) -> Vec<bool> {
         return shortest_path_tree_mask(g);
     }
     let diam = approx_diameter(g);
-    if !(diam > 0.0) || !diam.is_finite() {
+    if diam <= 0.0 || !diam.is_finite() {
         return shortest_path_tree_mask(g);
     }
     // Target ball radius ≈ diam/4: β = 4·ln(n+1)/diam keeps radii

@@ -182,7 +182,8 @@ impl Tree {
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
         (0..self.num_nodes()).filter_map(move |u| {
             let u = NodeId::new(u);
-            self.parent(u).map(|p| (u, p, self.parent_weight[u.index()]))
+            self.parent(u)
+                .map(|p| (u, p, self.parent_weight[u.index()]))
         })
     }
 

@@ -118,8 +118,8 @@ mod tests {
 
     #[test]
     fn tree_edges_have_stretch_one() {
-        let g = Graph::from_edges(5, &[(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.0), (3, 4, 5.0)])
-            .unwrap();
+        let g =
+            Graph::from_edges(5, &[(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.0), (3, 4, 5.0)]).unwrap();
         let t = kruskal_tree(&g, TreeObjective::MaxWeight).unwrap();
         let o = TreePathResistance::new(&g, &t.tree);
         for e in g.edges() {

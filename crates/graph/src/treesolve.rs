@@ -101,7 +101,8 @@ impl TreeLaplacianSolver {
         for &u in &self.preorder {
             let p = self.parent[u as usize];
             if p != u {
-                x[u as usize] = x[p as usize] + flow[u as usize] * self.parent_resistance[u as usize];
+                x[u as usize] =
+                    x[p as usize] + flow[u as usize] * self.parent_resistance[u as usize];
             }
         }
         // Normalise to zero mean so the map equals L_T⁺ on 1⊥.

@@ -265,11 +265,8 @@ mod tests {
 
     #[test]
     fn solves_small_spd_system() {
-        let a = CsrMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)],
-        );
+        let a =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)]);
         let b = [1.0, 2.0];
         let mut x = vec![0.0; 2];
         let pre = IdentityPrecond::new(2);
@@ -283,11 +280,8 @@ mod tests {
     #[test]
     fn jacobi_precond_reduces_iterations_on_ill_scaled_system() {
         // diag(1, 1e4) with small coupling: Jacobi fixes the scaling.
-        let a = CsrMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 1.0), (0, 1, 0.1), (1, 0, 0.1), (1, 1, 1e4)],
-        );
+        let a =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 0.1), (1, 0, 0.1), (1, 1, 1e4)]);
         let b = [1.0, 1.0];
         let opts = CgOptions::default();
 
@@ -349,11 +343,8 @@ mod tests {
 
     #[test]
     fn warm_start_helps() {
-        let a = CsrMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)],
-        );
+        let a =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)]);
         let b = [1.0, 2.0];
         let exact = DenseMatrix::from_csr(&a).solve_spd(&b).unwrap();
         let mut x = exact.clone();

@@ -224,8 +224,7 @@ impl DenseMatrix {
                 }
             }
             if off.sqrt() <= tol {
-                let mut pairs: Vec<(f64, usize)> =
-                    (0..n).map(|i| (a.get(i, i), i)).collect();
+                let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a.get(i, i), i)).collect();
                 pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
                 let values: Vec<f64> = pairs.iter().map(|p| p.0).collect();
                 let mut vectors = DenseMatrix::zeros(n, n);

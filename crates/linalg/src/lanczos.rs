@@ -268,15 +268,20 @@ where
 
         // β below this floor means the residual is inner-solver noise (the
         // Krylov space hit an invariant subspace). Dividing by it would
-        // amplify noise into a garbage basis vector — the B-normalised
-        // basis gives β a natural O(1) scale, so an absolute floor works.
-        const BETA_FLOOR: f64 = 1e-7;
-        if (j + 1) % 4 == 0 || j + 1 == m_cap || bj <= BETA_FLOOR {
+        // amplify noise into a garbage basis vector and the "Lanczos"
+        // directions that follow belong to the *inexactly solved* operator,
+        // whose spurious eigenvalues are unbounded. The noise left by a
+        // relative-tolerance inner solve scales with the spectral scale of
+        // the pencil, so the floor must too: |α| tracks that scale in the
+        // B-normalised basis.
+        let alpha_scale = alpha.iter().fold(1.0f64, |m, a| m.max(a.abs()));
+        let beta_floor = 1e-6 * alpha_scale;
+        if (j + 1) % 4 == 0 || j + 1 == m_cap || bj <= beta_floor {
             let ritz = tridiagonal_extremes(&alpha, &beta)?;
             let (lo, hi) = (ritz[0], *ritz.last().unwrap());
             let (plo, phi) = prev_extremes;
             let scale = hi.abs().max(1.0);
-            if bj <= BETA_FLOOR
+            if bj <= beta_floor
                 || ((hi - phi).abs() <= opts.tol * scale && (lo - plo).abs() <= opts.tol * scale)
             {
                 return Ok(PencilEigenResult {

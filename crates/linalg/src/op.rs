@@ -83,7 +83,9 @@ where
     F: Fn(&[f64], &mut [f64]),
 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FnOperator").field("dim", &self.dim).finish()
+        f.debug_struct("FnOperator")
+            .field("dim", &self.dim)
+            .finish()
     }
 }
 

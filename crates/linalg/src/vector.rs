@@ -5,7 +5,7 @@
 //! entry points validate dimensions and return [`crate::LinalgError`]).
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Dot product `aᵀb`.
 ///

@@ -178,10 +178,9 @@ mod tests {
             keep[e] = true;
         }
         let denser = g.edge_subgraph(&keep);
-        let kappa_denser =
-            estimate_condition_number(&g, &denser, &ConditionOptions::default())
-                .unwrap()
-                .kappa;
+        let kappa_denser = estimate_condition_number(&g, &denser, &ConditionOptions::default())
+            .unwrap()
+            .kappa;
         assert!(
             kappa_denser < kappa_tree,
             "denser {kappa_denser} vs tree {kappa_tree}"

@@ -28,7 +28,10 @@ impl fmt::Display for MetricsError {
                 write!(f, "node count mismatch: {left} vs {right}")
             }
             MetricsError::Disconnected { which } => {
-                write!(f, "graph {which} is disconnected; condition number is unbounded")
+                write!(
+                    f,
+                    "graph {which} is disconnected; condition number is unbounded"
+                )
             }
             MetricsError::Linalg(msg) => write!(f, "linear algebra failure: {msg}"),
         }

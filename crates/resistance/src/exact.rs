@@ -96,7 +96,9 @@ impl ExactResistance {
                 laplacian: g.laplacian(),
                 precond: TreePrecond::new(&tree.tree),
                 ones: vec![1.0; g.num_nodes()],
-                opts: CgOptions::default().with_rel_tol(1e-10).with_max_iters(5000),
+                opts: CgOptions::default()
+                    .with_rel_tol(1e-10)
+                    .with_max_iters(5000),
             },
         })
     }
@@ -139,7 +141,13 @@ mod tests {
         // R(0,3) = 1 (by symmetry the bridge carries no current).
         Graph::from_edges(
             4,
-            &[(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0), (1, 2, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (1, 3, 1.0),
+                (2, 3, 1.0),
+                (1, 2, 1.0),
+            ],
         )
         .unwrap()
     }
@@ -186,8 +194,8 @@ mod tests {
     fn rayleigh_monotonicity_under_extra_edge() {
         // Adding an edge can only decrease effective resistances.
         let g1 = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
-        let g2 = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)])
-            .unwrap();
+        let g2 =
+            Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)]).unwrap();
         let r1 = ExactResistance::dense(&g1).unwrap();
         let r2 = ExactResistance::dense(&g2).unwrap();
         for u in 0..4u32 {

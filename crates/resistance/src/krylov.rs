@@ -2,7 +2,9 @@
 
 use crate::embedding::NodeEmbedding;
 use ingrass_graph::{Graph, GraphError, NodeId};
-use ingrass_linalg::vector::{mgs_orthogonalize, normalize, project_out_ones, random_unit_perp_ones};
+use ingrass_linalg::vector::{
+    mgs_orthogonalize, normalize, project_out_ones, random_unit_perp_ones,
+};
 use ingrass_linalg::{CsrMatrix, DenseMatrix};
 
 /// Which operator spans the Krylov subspace.
@@ -286,10 +288,7 @@ fn build_krylov_embedding(g: &Graph, cfg: &KrylovConfig) -> Result<NodeEmbedding
 /// [`GraphError::Empty`] if the graph has no nodes.
 pub fn krylov_edge_resistances(g: &Graph, cfg: &KrylovConfig) -> Result<Vec<f64>, GraphError> {
     let emb = build_krylov_embedding(g, cfg)?;
-    Ok(g.edges()
-        .iter()
-        .map(|e| emb.distance2(e.u, e.v))
-        .collect())
+    Ok(g.edges().iter().map(|e| emb.distance2(e.u, e.v)).collect())
 }
 
 /// Resistance between two nodes via a fresh embedding — test convenience.

@@ -46,7 +46,9 @@ mod krylov;
 pub use embedding::NodeEmbedding;
 pub use exact::ExactResistance;
 pub use jl::{JlConfig, JlEmbedder};
-pub use krylov::{krylov_edge_resistances, krylov_resistance, KrylovConfig, KrylovEmbedder, KrylovOperator};
+pub use krylov::{
+    krylov_edge_resistances, krylov_resistance, KrylovConfig, KrylovEmbedder, KrylovOperator,
+};
 
 use ingrass_graph::{Graph, NodeId};
 

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example edge_filtering_demo`
 
-use ingrass_repro::prelude::*;
 use ingrass_repro::core::EdgeOutcome;
+use ingrass_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Three 5-node communities in a row, bridged by single edges:
@@ -47,7 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let candidates = [
         (3, 6, 1.0, "A↔B again — an A–B edge already exists"),
         (6, 8, 1.0, "inside B — endpoints share a cluster"),
-        (2, 12, 1.0, "A↔C — no sparsifier edge between those clusters"),
+        (
+            2,
+            12,
+            1.0,
+            "A↔C — no sparsifier edge between those clusters",
+        ),
     ];
     println!("\nprocessing three new edges (distortion-ranked):");
     for (u, v, w, why) in candidates {

@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example lrd_embedding_demo`
 
-use ingrass_repro::prelude::*;
 use ingrass_repro::core::LrdHierarchy;
+use ingrass_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small sparsifier-like graph: two tight 7-node communities bridged

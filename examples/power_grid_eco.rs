@@ -77,10 +77,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t = Instant::now();
     let rerun = GrassSparsifier::default().to_condition(&g_final, kappa0, &cond_opts)?;
     let grass_s = t.elapsed().as_secs_f64();
-    let d_grass =
-        SparsifierDensity::new(g_final.num_nodes()).report_graphs(&rerun.graph, &g0);
-    let d_ingrass = SparsifierDensity::new(g_final.num_nodes())
-        .report_graphs(&engine.sparsifier_graph(), &g0);
+    let d_grass = SparsifierDensity::new(g_final.num_nodes()).report_graphs(&rerun.graph, &g0);
+    let d_ingrass =
+        SparsifierDensity::new(g_final.num_nodes()).report_graphs(&engine.sparsifier_graph(), &g0);
     println!(
         "\nGRASS re-run (one iteration only!): {:.2} s → off-tree density {:.1} % at κ = {:.1}",
         grass_s,

@@ -63,9 +63,7 @@ pub mod prelude {
         PowerGridConfig, RmatConfig, SphereConfig, StreamConfig, TestCase, WeightModel,
     };
     pub use ingrass_graph::{DynGraph, Edge, EdgeId, Graph, GraphBuilder, NodeId};
-    pub use ingrass_metrics::{
-        estimate_condition_number, ConditionOptions, SparsifierDensity,
-    };
+    pub use ingrass_metrics::{estimate_condition_number, ConditionOptions, SparsifierDensity};
     pub use ingrass_resistance::{
         ExactResistance, JlConfig, JlEmbedder, KrylovConfig, KrylovEmbedder, ResistanceEstimator,
     };

@@ -138,7 +138,11 @@ fn social_family() {
 #[test]
 fn suite_cases_run_end_to_end_at_tiny_scale() {
     // Exercise the actual benchmark-suite path for a couple of cases.
-    for case in [TestCase::G2Circuit, TestCase::DelaunayN18, TestCase::FeSphere] {
+    for case in [
+        TestCase::G2Circuit,
+        TestCase::DelaunayN18,
+        TestCase::FeSphere,
+    ] {
         let g = case.build(0.004, 3);
         run_family(case.name(), g);
     }

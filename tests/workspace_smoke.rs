@@ -1,0 +1,144 @@
+//! Workspace-surface smoke test: the README/lib.rs quickstart path must work
+//! end-to-end through the *facade* crate exactly as documented — generate a
+//! workload, sparsify it with GRASS, run inGRASS setup, stream in a batch —
+//! with exact accounting on the update report and the sparsifier state.
+//!
+//! Everything here is deterministic (fixed seeds, vendored deterministic
+//! RNG), so every assertion can be exact or tight.
+
+use ingrass_repro::prelude::*;
+
+#[test]
+fn quickstart_path_end_to_end() {
+    // 1. A workload graph and its initial sparsifier (the quickstart from
+    //    `src/lib.rs`, slightly enlarged).
+    let g0 = grid_2d(16, 16, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 1);
+    assert_eq!(g0.num_nodes(), 256);
+    // A 16×16 grid has 2·16·15 = 480 edges.
+    assert_eq!(g0.num_edges(), 480);
+
+    let h0 = GrassSparsifier::default()
+        .by_offtree_density(&g0, 0.10)
+        .unwrap();
+    // Spanning tree (255 edges) + 10 % of the 225 off-tree edges.
+    assert_eq!(h0.tree_edges, g0.num_nodes() - 1);
+    let offtree_kept = h0.graph.num_edges() - h0.tree_edges;
+    assert_eq!(offtree_kept, ((480 - 255) as f64 * 0.10).round() as usize);
+    assert!(ingrass_repro::graph::is_connected(&h0.graph));
+
+    // 2. inGRASS setup (once).
+    let mut engine = InGrassEngine::setup(&h0.graph, &SetupConfig::default()).unwrap();
+    let setup = engine.setup_report().clone();
+    assert_eq!(setup.nodes, 256);
+    assert_eq!(setup.edges, h0.graph.num_edges());
+    // The LRD hierarchy is the O(log N) embedding: more than one level,
+    // no deeper than the engine could ever need.
+    assert!(setup.levels > 1, "levels {}", setup.levels);
+    assert!(setup.levels <= 64, "levels {}", setup.levels);
+
+    // 3. O(log N) incremental updates.
+    let edges_before = engine.sparsifier().num_edges();
+    let weight_before = engine.sparsifier().total_weight();
+    let batch: &[(usize, usize, f64)] = &[(0, 200, 1.0), (3, 40, 0.8), (17, 18, 2.0)];
+    let report = engine
+        .insert_batch(
+            batch,
+            &UpdateConfig {
+                target_condition: 80.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+    // Exact accounting: every edge of the batch is processed exactly once
+    // and lands in exactly one outcome bucket.
+    assert_eq!(report.batch_size, batch.len());
+    assert_eq!(report.total_processed(), batch.len());
+    assert_eq!(
+        report.included + report.merged + report.redistributed,
+        batch.len()
+    );
+
+    // The sparsifier grew by exactly the number of *included* edges, and
+    // absorbed the whole inserted weight regardless of outcome.
+    let h1 = engine.sparsifier_graph();
+    assert_eq!(h1.num_edges(), edges_before + report.included);
+    let inserted: f64 = batch.iter().map(|&(_, _, w)| w).sum();
+    let weight_after = engine.sparsifier().total_weight();
+    assert!(
+        (weight_after - weight_before - inserted).abs() < 1e-9,
+        "weight before {weight_before} + inserted {inserted} != after {weight_after}"
+    );
+
+    // The updated sparsifier stays connected and spans the same nodes.
+    assert_eq!(h1.num_nodes(), 256);
+    assert!(ingrass_repro::graph::is_connected(&h1));
+}
+
+#[test]
+fn facade_modules_cover_every_crate() {
+    // One call through each re-exported module proves the facade wiring
+    // (`pub use` in src/lib.rs) resolves against the real crate names.
+    let g = grid_2d(6, 6, WeightModel::Unit, 0);
+
+    // graph
+    assert!(ingrass_repro::graph::is_connected(&g));
+    // linalg
+    let lap = g.laplacian();
+    let dense = ingrass_repro::linalg::DenseMatrix::from_csr(&lap);
+    assert_eq!(dense.n_rows(), 36);
+    // resistance
+    let exact = ExactResistance::dense(&g).unwrap();
+    assert!(exact.resistance(0.into(), 35.into()) > 0.0);
+    // baselines
+    let h = GrassSparsifier::default()
+        .by_offtree_density(&g, 0.2)
+        .unwrap();
+    // metrics
+    let est = estimate_condition_number(&g, &h.graph, &ConditionOptions::default()).unwrap();
+    assert!(est.kappa >= 1.0 - 1e-6);
+    // core
+    let engine = InGrassEngine::setup(&h.graph, &SetupConfig::default()).unwrap();
+    assert!(!engine.hierarchy().levels().is_empty());
+    // gen (stream side)
+    let stream = InsertionStream::generate(
+        &g,
+        &StreamConfig {
+            batches: 2,
+            edges_per_batch: 3,
+            locality: 0.5,
+            local_hops: 2,
+            seed: 7,
+        },
+    );
+    assert_eq!(stream.batches().len(), 2);
+    assert_eq!(stream.total_edges(), 6);
+}
+
+#[test]
+fn update_is_deterministic_across_runs() {
+    // Two identical pipelines must agree bit-for-bit: the tier-1 verify
+    // depends on run-to-run determinism of the whole stack.
+    let run = || {
+        let g0 = grid_2d(12, 12, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 5);
+        let h0 = GrassSparsifier::default()
+            .by_offtree_density(&g0, 0.15)
+            .unwrap();
+        let mut engine = InGrassEngine::setup(&h0.graph, &SetupConfig::default()).unwrap();
+        let stream = InsertionStream::paper_default(&g0, 11);
+        let cfg = UpdateConfig {
+            target_condition: 50.0,
+            ..Default::default()
+        };
+        let mut outcome = Vec::new();
+        for batch in stream.batches() {
+            let r = engine.insert_batch(batch, &cfg).unwrap();
+            outcome.push((r.included, r.merged, r.redistributed, r.filtering_level));
+        }
+        (outcome, engine.sparsifier().total_weight())
+    };
+    let (a, wa) = run();
+    let (b, wb) = run();
+    assert_eq!(a, b);
+    assert_eq!(wa.to_bits(), wb.to_bits());
+}
