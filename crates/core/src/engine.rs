@@ -4,11 +4,10 @@ use crate::config::{ResistanceBackend, SetupConfig, UpdateConfig};
 use crate::connectivity::ClusterConnectivity;
 use crate::error::InGrassError;
 use crate::lrd::LrdHierarchy;
-use crate::report::{EdgeOutcome, SetupReport, UpdateReport};
+use crate::report::{EdgeOutcome, PhaseTimer, SetupReport, UpdateReport};
 use crate::Result;
 use ingrass_graph::{is_connected, DynGraph, Graph, NodeId};
 use ingrass_resistance::{JlEmbedder, KrylovEmbedder, ResistanceEstimator};
-use std::time::Instant;
 
 /// The inGRASS engine: owns the sparsifier `H` and the setup-phase
 /// artifacts (LRD hierarchy + cluster connectivity), and applies streamed
@@ -36,7 +35,7 @@ impl InGrassEngine {
     /// [`InGrassError::BadSparsifier`] if `h0` is empty or disconnected;
     /// [`InGrassError::InvalidConfig`] for bad configuration values.
     pub fn setup(h0: &Graph, cfg: &SetupConfig) -> Result<Self> {
-        let total_start = Instant::now();
+        let mut timer = PhaseTimer::start();
         if h0.num_nodes() == 0 {
             return Err(InGrassError::BadSparsifier("no nodes".into()));
         }
@@ -46,8 +45,9 @@ impl InGrassEngine {
             ));
         }
 
-        // Phase 1: per-edge effective resistance estimates.
-        let t = Instant::now();
+        // Phase 1: per-edge effective resistance estimates. (The lap up to
+        // here is input validation; it belongs to no phase.)
+        timer.lap();
         let edge_resistance: Vec<f64> = match &cfg.resistance {
             ResistanceBackend::Krylov(kc) => {
                 let kc = kc.clone().with_seed(cfg.seed);
@@ -63,10 +63,9 @@ impl InGrassEngine {
             }
             ResistanceBackend::LocalOnly => h0.edges().iter().map(|e| 1.0 / e.weight).collect(),
         };
-        let resistance_time = t.elapsed();
+        let resistance_time = timer.lap();
 
         // Phase 2: multilevel LRD decomposition.
-        let t = Instant::now();
         let hierarchy = LrdHierarchy::build(
             h0,
             &edge_resistance,
@@ -74,13 +73,12 @@ impl InGrassEngine {
             cfg.diameter_growth,
             cfg.max_levels,
         )?;
-        let lrd_time = t.elapsed();
+        let lrd_time = timer.lap();
 
         // Phase 3: multilevel sparse connectivity structure.
-        let t = Instant::now();
         let h = DynGraph::from_graph(h0);
         let connectivity = ClusterConnectivity::build(&h, &hierarchy);
-        let connectivity_time = t.elapsed();
+        let connectivity_time = timer.lap();
 
         let setup_report = SetupReport {
             nodes: h0.num_nodes(),
@@ -89,7 +87,7 @@ impl InGrassEngine {
             resistance_time,
             lrd_time,
             connectivity_time,
-            total_time: total_start.elapsed(),
+            total_time: timer.total(),
         };
         Ok(InGrassEngine {
             hierarchy,
@@ -117,7 +115,7 @@ impl InGrassEngine {
         edges: &[(usize, usize, f64)],
         cfg: &UpdateConfig,
     ) -> Result<UpdateReport> {
-        let start = Instant::now();
+        let timer = PhaseTimer::start();
         if cfg.target_condition < 2.0 {
             return Err(InGrassError::InvalidConfig(format!(
                 "target condition must be ≥ 2, got {}",
@@ -147,17 +145,16 @@ impl InGrassEngine {
             .unwrap_or_else(|| self.hierarchy.filtering_level(cfg.target_condition));
 
         // Spectral distortion estimation (update phase 1): O(levels) per
-        // edge via the LRD embedding.
-        let mut order: Vec<(usize, f64)> = edges
-            .iter()
-            .enumerate()
-            .map(|(i, &(u, v, w))| {
-                let r = self
-                    .hierarchy
-                    .resistance_bound(NodeId::new(u), NodeId::new(v));
-                (i, w * r.min(f64::MAX / 2.0))
-            })
-            .collect();
+        // edge via the LRD embedding. The scores are independent reads of
+        // the hierarchy, so huge batches fan out across threads (scores land
+        // by index — identical at any width); typical O(10³)-edge batches
+        // stay serial per the shared ingrass-par threshold.
+        let hierarchy = &self.hierarchy;
+        let scores: Vec<f64> = ingrass_par::par_map_auto(edges, |&(u, v, w)| {
+            let r = hierarchy.resistance_bound(NodeId::new(u), NodeId::new(v));
+            w * r.min(f64::MAX / 2.0)
+        });
+        let mut order: Vec<(usize, f64)> = scores.into_iter().enumerate().collect();
         if cfg.sort_by_distortion {
             order.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         }
@@ -184,7 +181,7 @@ impl InGrassEngine {
             redistributed,
             filtering_level: level,
             max_distortion,
-            elapsed: start.elapsed(),
+            elapsed: timer.total(),
         })
     }
 

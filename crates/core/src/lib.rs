@@ -65,7 +65,7 @@ pub use connectivity::ClusterConnectivity;
 pub use engine::InGrassEngine;
 pub use error::InGrassError;
 pub use lrd::{LrdHierarchy, LrdLevel};
-pub use report::{EdgeOutcome, SetupReport, UpdateReport};
+pub use report::{EdgeOutcome, PhaseTimer, SetupReport, UpdateReport};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, InGrassError>;

@@ -1,6 +1,51 @@
 //! Setup and update reports.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Wall-clock stopwatch with per-phase laps.
+///
+/// One code path for every timing the workspace records: the engine's
+/// [`SetupReport`]/[`UpdateReport`] phases and the `ingrass-bench` perf
+/// harness's scenario breakdowns all read from this, so their numbers are
+/// directly comparable.
+///
+/// ```
+/// use ingrass::PhaseTimer;
+/// let mut timer = PhaseTimer::start();
+/// let phase1 = timer.lap(); // time since start
+/// let phase2 = timer.lap(); // time since the previous lap
+/// assert!(timer.total() >= phase1 + phase2);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseTimer {
+    start: Instant,
+    last: Instant,
+}
+
+impl PhaseTimer {
+    /// Starts the stopwatch.
+    pub fn start() -> Self {
+        let now = Instant::now();
+        PhaseTimer {
+            start: now,
+            last: now,
+        }
+    }
+
+    /// Ends the current phase: returns the time since the previous `lap`
+    /// (or since `start`) and begins the next phase.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let phase = now.duration_since(self.last);
+        self.last = now;
+        phase
+    }
+
+    /// Total time since `start`, without ending the current phase.
+    pub fn total(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
 
 /// What happened to one inserted edge during the update phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +117,18 @@ impl UpdateReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn phase_timer_laps_partition_total() {
+        let mut t = PhaseTimer::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let a = t.lap();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = t.lap();
+        assert!(a >= Duration::from_millis(1));
+        assert!(b >= Duration::from_millis(1));
+        assert!(t.total() >= a + b);
+    }
 
     #[test]
     fn update_report_accounting() {

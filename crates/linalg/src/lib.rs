@@ -48,7 +48,7 @@ mod lanczos;
 mod op;
 pub mod vector;
 
-pub use cg::{pcg, CgOptions, CgResult, IdentityPrecond, JacobiPrecond, Preconditioner};
+pub use cg::{pcg, pcg_multi, CgOptions, CgResult, IdentityPrecond, JacobiPrecond, Preconditioner};
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::LinalgError;

@@ -1,0 +1,294 @@
+//! Deterministic parallel primitives for the inGRASS workspace.
+//!
+//! Every hot path in this workspace — Krylov probe smoothing, JL probe
+//! solves, batched CG right-hand sides, per-edge distortion scoring — is an
+//! *index-parallel* map: item `i` is computed from `i` (and shared read-only
+//! state) alone. This crate runs such maps across threads while keeping the
+//! output **bit-for-bit identical to the serial loop at any thread count**:
+//!
+//! * work is distributed dynamically (an atomic cursor), but every result is
+//!   placed back at its own index, so the output order never depends on
+//!   scheduling;
+//! * nothing is reduced across threads in non-deterministic order — callers
+//!   that need randomness derive an independent seed per index with
+//!   [`derive_seed`] instead of sharing one RNG stream.
+//!
+//! The thread count comes from [`num_threads`]: the `INGRASS_THREADS`
+//! environment variable when set (and ≥ 1), otherwise
+//! [`std::thread::available_parallelism`]. `INGRASS_THREADS=1` disables
+//! threading entirely (no pool, no spawn — the exact serial loop).
+//!
+//! # Example
+//!
+//! ```
+//! // Squares of 0..8, computed on however many threads the host has.
+//! let sq = ingrass_par::par_map_range(8, |i| (i * i) as u64);
+//! assert_eq!(sq, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+pub use scoped_threadpool::{Pool, Scope};
+
+/// Environment variable overriding the worker thread count.
+pub const THREADS_ENV: &str = "INGRASS_THREADS";
+
+/// The parallel width to use: `INGRASS_THREADS` if set to an integer ≥ 1,
+/// otherwise the host's available parallelism (1 if that is unknown).
+///
+/// Unparsable or zero values of the variable are ignored (falling back to
+/// the host default) rather than panicking: the variable is an operator
+/// knob, not an API.
+pub fn num_threads() -> usize {
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Derives an independent RNG seed for stream `stream` of a master seed.
+///
+/// SplitMix64 finalizer over `master ^ (stream + φ·(stream+1))` — streams of
+/// the same master are decorrelated, and the mapping is stable across
+/// platforms (it feeds the deterministic vendored `rand::StdRng`). Giving
+/// each parallel probe its *own* seeded RNG (instead of sharing one stream)
+/// is what makes parallel and serial execution bit-for-bit identical.
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)))
+        ^ stream.rotate_left(32);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps `f` over `0..n` on `threads` workers; `out[i] = f(i)` exactly as the
+/// serial loop would produce it.
+///
+/// `threads <= 1`, `n <= 1`, or a single available worker short-circuits to
+/// the plain serial loop (no pool, no channel). Otherwise
+/// `min(threads, n)` workers pull indices from an atomic cursor (dynamic
+/// load balancing — CG solves converge in wildly different iteration
+/// counts) and send `(index, value)` pairs back for in-order placement.
+///
+/// # Panics
+/// Re-panics if `f` panics on any index (after all workers have stopped).
+pub fn par_map_range_with<U, F>(threads: usize, n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let width = threads.min(n).max(1);
+    if width == 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, U)>();
+    let pool = Pool::new(width);
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    pool.scoped(|scope| {
+        for _ in 0..width {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.execute(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // A closed channel means the drain side unwound; stop.
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        // Drain on the caller thread *while* the workers produce: channel
+        // occupancy stays transient instead of buffering all n results
+        // (which would double peak memory for vector-valued maps), and the
+        // loop ends when the last worker drops its sender.
+        drop(tx);
+        for (i, v) in rx {
+            out[i] = Some(v);
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every index was computed exactly once"))
+        .collect()
+}
+
+/// [`par_map_range_with`] at the ambient [`num_threads`] width.
+pub fn par_map_range<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    par_map_range_with(num_threads(), n, f)
+}
+
+/// Maps `f` over a slice on `threads` workers, preserving order.
+pub fn par_map_with<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_range_with(threads, items.len(), |i| f(&items[i]))
+}
+
+/// Maps `f` over a slice at the ambient [`num_threads`] width, preserving
+/// order.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_with(num_threads(), items, f)
+}
+
+/// Below this many items, [`par_map_auto`] stays serial: its call sites do
+/// microseconds of work per item (an O(dim) embedding distance, an
+/// O(levels) hierarchy read), and spawning a worker costs tens of
+/// microseconds — fanning out a small cheap map is a net loss.
+pub const PAR_AUTO_THRESHOLD: usize = 8192;
+
+/// [`par_map`] for *cheap* per-item maps: serial below
+/// [`PAR_AUTO_THRESHOLD`] items, the ambient [`num_threads`] width above.
+/// One shared threshold keeps every such call site's dispatch policy in
+/// sync. The output is identical either way.
+pub fn par_map_auto<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if items.len() < PAR_AUTO_THRESHOLD {
+        items.iter().map(f).collect()
+    } else {
+        par_map(items, f)
+    }
+}
+
+/// Runs `f` with a scope that can spawn borrowing jobs at the ambient
+/// [`num_threads`] width; all jobs join before this returns.
+///
+/// For irregular fork–join shapes that [`par_map`] does not fit. The scope's
+/// pool width is advisory (see `scoped_threadpool`): submit at most
+/// [`Pool::thread_count`] jobs and split finer work inside them.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Pool::new(num_threads()).scoped(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// `INGRASS_THREADS` is process-global, and concurrent `setenv`/`getenv`
+    /// is undefined behavior on glibc. Every test that *writes* the variable
+    /// AND every test that *reads* it (anything going through the ambient
+    /// [`num_threads`] width) must hold this lock, so the cargo test
+    /// harness's own threading cannot interleave a write with a read.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn par_map_matches_serial_at_every_width() {
+        let serial: Vec<u64> = (0..257)
+            .map(|i| (i as u64).wrapping_mul(2654435761))
+            .collect();
+        for threads in [1, 2, 3, 4, 8, 300] {
+            let par = par_map_range_with(threads, 257, |i| (i as u64).wrapping_mul(2654435761));
+            assert_eq!(par, serial, "width {threads} diverged");
+        }
+    }
+
+    #[test]
+    fn zero_sized_input_yields_empty_vec() {
+        let v: Vec<u32> = par_map_range_with(8, 0, |_| unreachable!("no items"));
+        assert!(v.is_empty());
+        let empty: [u8; 0] = [];
+        let v: Vec<u32> = par_map_with(4, &empty, |_| unreachable!("no items"));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn slice_map_borrows_items() {
+        let words = ["a", "bb", "ccc"];
+        assert_eq!(par_map_with(2, &words, |w| w.len()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn panic_in_one_item_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            par_map_range_with(4, 64, |i| {
+                if i == 13 {
+                    panic!("unlucky index");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn derive_seed_decorrelates_streams() {
+        let s: Vec<u64> = (0..64).map(|i| derive_seed(42, i)).collect();
+        let mut uniq = s.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), s.len(), "seed collision across streams");
+        // Different masters give different streams.
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+        // Stable mapping (guards against accidental reshuffles breaking
+        // recorded baselines).
+        assert_eq!(derive_seed(42, 0), derive_seed(42, 0));
+    }
+
+    #[test]
+    fn env_override_forces_single_thread() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var(THREADS_ENV, "1");
+        assert_eq!(num_threads(), 1);
+        std::env::set_var(THREADS_ENV, "6");
+        assert_eq!(num_threads(), 6);
+        std::env::remove_var(THREADS_ENV);
+    }
+
+    #[test]
+    fn env_garbage_falls_back_to_host_width() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        for bad in ["0", "-3", "lots", ""] {
+            std::env::set_var(THREADS_ENV, bad);
+            assert_eq!(num_threads(), host, "value {bad:?} must be ignored");
+        }
+        std::env::remove_var(THREADS_ENV);
+    }
+
+    #[test]
+    fn scope_joins_all_jobs() {
+        let _guard = ENV_LOCK.lock().unwrap(); // scope() reads INGRASS_THREADS
+        let mut parts = vec![0usize; 4];
+        scope(|s| {
+            for (i, p) in parts.iter_mut().enumerate() {
+                s.execute(move || *p = i + 1);
+            }
+        });
+        assert_eq!(parts, vec![1, 2, 3, 4]);
+    }
+}

@@ -2,7 +2,7 @@
 //! effective resistances.
 
 use crate::ResistanceEstimator;
-use ingrass_graph::NodeId;
+use ingrass_graph::{Graph, NodeId};
 
 /// An `n × d` row-major matrix of node coordinates.
 ///
@@ -57,6 +57,13 @@ impl NodeEmbedding {
 impl ResistanceEstimator for NodeEmbedding {
     fn resistance(&self, u: NodeId, v: NodeId) -> f64 {
         self.distance2(u, v)
+    }
+
+    fn edge_resistances(&self, g: &Graph) -> Vec<f64> {
+        // Each edge's distance is independent; wide graphs fan the map out
+        // (results placed by edge index — identical at any width), small
+        // ones stay serial per the shared ingrass-par threshold.
+        ingrass_par::par_map_auto(g.edges(), |e| self.distance2(e.u, e.v))
     }
 }
 

@@ -4,7 +4,7 @@
 use crate::embedding::NodeEmbedding;
 use crate::ResistanceEstimator;
 use ingrass_graph::{kruskal_tree, Graph, GraphError, NodeId, TreeObjective, TreePrecond};
-use ingrass_linalg::{pcg, CgOptions};
+use ingrass_linalg::{pcg_multi, CgOptions};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -19,8 +19,15 @@ pub struct JlConfig {
     pub cg_tol: f64,
     /// Iteration cap of the inner CG solves.
     pub cg_max_iters: usize,
-    /// RNG seed.
+    /// RNG seed. Each projection derives its own independent stream from
+    /// this (`ingrass_par::derive_seed`), which is what lets the solves run
+    /// in parallel without perturbing the result.
     pub seed: u64,
+    /// Worker threads for the probe solves. `None` (default) uses the
+    /// ambient width from `ingrass_par::num_threads` (`INGRASS_THREADS`
+    /// override, else host parallelism). The embedding is bit-for-bit
+    /// identical at any thread count.
+    pub threads: Option<usize>,
 }
 
 impl Default for JlConfig {
@@ -30,6 +37,7 @@ impl Default for JlConfig {
             cg_tol: 1e-8,
             cg_max_iters: 3000,
             seed: 1234,
+            threads: None,
         }
     }
 }
@@ -44,6 +52,12 @@ impl JlConfig {
     /// Returns the config with the given seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns the config with an explicit worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 }
@@ -88,24 +102,27 @@ impl JlEmbedder {
             .with_rel_tol(cfg.cg_tol)
             .with_max_iters(cfg.cg_max_iters);
 
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let threads = cfg.threads.unwrap_or_else(ingrass_par::num_threads);
         let scale = 1.0 / (k as f64).sqrt();
-        let mut data = vec![0.0; n * k];
-        let mut rhs = vec![0.0; n];
-        let mut y = vec![0.0; n];
-        for i in 0..k {
-            // rhs = Bᵀ W^{1/2} z for a fresh random sign vector z.
-            rhs.iter_mut().for_each(|v| *v = 0.0);
+        // rhs_i = Bᵀ W^{1/2} z_i, each from its own derived RNG stream so
+        // the probes are order-independent.
+        let rhss: Vec<Vec<f64>> = ingrass_par::par_map_range_with(threads, k, |i| {
+            let mut rng = StdRng::seed_from_u64(ingrass_par::derive_seed(cfg.seed, i as u64));
+            let mut rhs = vec![0.0; n];
             for e in g.edges() {
                 let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
                 let s = sign * scale * e.weight.sqrt();
                 rhs[e.u.index()] += s;
                 rhs[e.v.index()] -= s;
             }
-            y.iter_mut().for_each(|v| *v = 0.0);
-            pcg(&lap, &rhs, &mut y, &precond, Some(&ones), &opts);
-            for p in 0..n {
-                data[p * k + i] = y[p];
+            rhs
+        });
+        // The k Laplacian solves are mutually independent: batch them.
+        let solves = pcg_multi(&lap, &rhss, &precond, Some(&ones), &opts, threads);
+        let mut data = vec![0.0; n * k];
+        for (i, (y, _)) in solves.iter().enumerate() {
+            for (p, &yp) in y.iter().enumerate() {
+                data[p * k + i] = yp;
             }
         }
         Ok(JlEmbedder {
@@ -132,6 +149,10 @@ impl JlEmbedder {
 impl ResistanceEstimator for JlEmbedder {
     fn resistance(&self, u: NodeId, v: NodeId) -> f64 {
         self.embedding.distance2(u, v)
+    }
+
+    fn edge_resistances(&self, g: &Graph) -> Vec<f64> {
+        ResistanceEstimator::edge_resistances(&self.embedding, g)
     }
 }
 

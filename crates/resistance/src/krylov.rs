@@ -53,6 +53,12 @@ pub struct KrylovConfig {
     pub operator: KrylovOperator,
     /// RNG seed for the start vector.
     pub seed: u64,
+    /// Worker threads for the embarrassingly parallel stages (probe
+    /// smoothing, Rayleigh–Ritz assembly, coordinate columns). `None`
+    /// (default) uses the ambient width from `ingrass_par::num_threads`
+    /// (`INGRASS_THREADS` override, else host parallelism). The result is
+    /// bit-for-bit identical at any thread count.
+    pub threads: Option<usize>,
 }
 
 impl Default for KrylovConfig {
@@ -61,6 +67,7 @@ impl Default for KrylovConfig {
             dim: None,
             operator: KrylovOperator::default(),
             seed: 42,
+            threads: None,
         }
     }
 }
@@ -81,6 +88,12 @@ impl KrylovConfig {
     /// Returns the config with the given seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns the config with an explicit worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 }
@@ -143,6 +156,10 @@ impl crate::ResistanceEstimator for KrylovEmbedder {
     fn resistance(&self, u: NodeId, v: NodeId) -> f64 {
         self.embedding.distance2(u, v)
     }
+
+    fn edge_resistances(&self, g: &Graph) -> Vec<f64> {
+        crate::ResistanceEstimator::edge_resistances(&self.embedding, g)
+    }
 }
 
 fn build_krylov_embedding(g: &Graph, cfg: &KrylovConfig) -> Result<NodeEmbedding, GraphError> {
@@ -185,6 +202,8 @@ fn build_krylov_embedding(g: &Graph, cfg: &KrylovConfig) -> Result<NodeEmbedding
         }
     };
 
+    let threads = cfg.threads.unwrap_or_else(ingrass_par::num_threads);
+
     // Build the subspace. For the smoothed operator we run randomized
     // subspace iteration (a *block* of m random probes, each smoothed
     // `steps` times — this covers the m lowest Laplacian modes far better
@@ -192,8 +211,12 @@ fn build_krylov_embedding(g: &Graph, cfg: &KrylovConfig) -> Result<NodeEmbedding
     // classical single-vector Krylov chain of the paper's eq. (3).
     let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m);
     if let KrylovOperator::SmoothedAdjacency { steps, .. } = cfg.operator {
-        for i in 0..m {
-            let mut w = random_unit_perp_ones(n, cfg.seed.wrapping_add(i as u64));
+        // Each probe starts from its own seeded random vector and is
+        // smoothed independently — the hot O(m · steps · nnz) stage runs in
+        // parallel, and only the (order-sensitive, O(n m²)) MGS pass below
+        // stays serial, so the basis is identical at any thread count.
+        let smoothed: Vec<Vec<f64>> = ingrass_par::par_map_range_with(threads, m, |i| {
+            let mut w = random_unit_perp_ones(n, ingrass_par::derive_seed(cfg.seed, i as u64));
             for _ in 0..steps {
                 w = apply(&w);
                 project_out_ones(&mut w);
@@ -201,6 +224,9 @@ fn build_krylov_embedding(g: &Graph, cfg: &KrylovConfig) -> Result<NodeEmbedding
                     break; // probe annihilated (can happen on tiny graphs)
                 }
             }
+            w
+        });
+        for mut w in smoothed {
             mgs_orthogonalize(&mut w, &basis);
             if normalize(&mut w) <= 1e-12 {
                 continue; // rank-deficient probe; skip
@@ -242,14 +268,17 @@ fn build_krylov_embedding(g: &Graph, cfg: &KrylovConfig) -> Result<NodeEmbedding
     // Laplacian eigenvectors" of the paper. The low Ritz pairs converge to
     // the low Laplacian eigenpairs — the ones that dominate eq. (2).
     let dim = basis.len();
-    let mut lu: Vec<Vec<f64>> = Vec::with_capacity(dim);
-    for u in &basis {
-        lu.push(lap.matvec_alloc(u));
-    }
+    let lu: Vec<Vec<f64>> = ingrass_par::par_map_with(threads, &basis, |u| lap.matvec_alloc(u));
+    // Upper triangle of T, one independent row per basis vector.
+    let t_rows: Vec<Vec<f64>> = ingrass_par::par_map_range_with(threads, dim, |i| {
+        (i..dim)
+            .map(|j| basis[i].iter().zip(&lu[j]).map(|(a, b)| a * b).sum())
+            .collect()
+    });
     let mut t = DenseMatrix::zeros(dim, dim);
-    for i in 0..dim {
-        for j in i..dim {
-            let v: f64 = basis[i].iter().zip(&lu[j]).map(|(a, b)| a * b).sum();
+    for (i, row) in t_rows.iter().enumerate() {
+        for (off, &v) in row.iter().enumerate() {
+            let j = i + off;
             t.set(i, j, v);
             t.set(j, i, v);
         }
@@ -260,21 +289,33 @@ fn build_krylov_embedding(g: &Graph, cfg: &KrylovConfig) -> Result<NodeEmbedding
     let theta_max = theta.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
     let cutoff = 1e-12 * theta_max.max(f64::MIN_POSITIVE);
 
-    // Node coordinates: y_p[i] = (Ũ s_i)[p] / sqrt(θ_i), eq. (3).
-    let mut data = vec![0.0; n * dim];
-    for i in 0..dim {
+    // Node coordinates: y_p[i] = (Ũ s_i)[p] / sqrt(θ_i), eq. (3). Each Ritz
+    // direction fills one embedding column independently; the per-column
+    // accumulation order over j is the serial loop's, so the coordinates are
+    // bitwise thread-count-independent.
+    let cols: Vec<Option<Vec<f64>>> = ingrass_par::par_map_range_with(threads, dim, |i| {
         let th = theta[i];
         if th <= cutoff {
-            continue; // numerically-null direction carries no energy
+            return None; // numerically-null direction carries no energy
         }
         let inv_sqrt = 1.0 / th.sqrt();
+        let mut col = vec![0.0; n];
         for (j, u) in basis.iter().enumerate() {
             let c = s.get(j, i) * inv_sqrt;
             if c == 0.0 {
                 continue;
             }
-            for p in 0..n {
-                data[p * dim + i] += c * u[p];
+            for (cp, up) in col.iter_mut().zip(u) {
+                *cp += c * up;
+            }
+        }
+        Some(col)
+    });
+    let mut data = vec![0.0; n * dim];
+    for (i, col) in cols.iter().enumerate() {
+        if let Some(col) = col {
+            for (p, &v) in col.iter().enumerate() {
+                data[p * dim + i] = v;
             }
         }
     }

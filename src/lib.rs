@@ -15,6 +15,7 @@
 //! | [`gen`] | `ingrass-gen` | workload generators + the paper's benchmark suite |
 //! | [`baselines`] | `ingrass-baselines` | GRASS-style from-scratch sparsifier, Random baseline |
 //! | [`metrics`] | `ingrass-metrics` | relative condition number, density, distortion stats |
+//! | [`par`] | `ingrass-par` | deterministic parallel primitives (`par_map`/`scope`, `INGRASS_THREADS`) |
 //!
 //! The [`prelude`] pulls in the names used by virtually every program.
 //!
@@ -49,6 +50,7 @@ pub use ingrass_gen as gen;
 pub use ingrass_graph as graph;
 pub use ingrass_linalg as linalg;
 pub use ingrass_metrics as metrics;
+pub use ingrass_par as par;
 pub use ingrass_resistance as resistance;
 
 /// The names almost every downstream program needs.

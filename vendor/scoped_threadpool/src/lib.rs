@@ -1,0 +1,167 @@
+//! Vendored minimal stand-in for the `scoped_threadpool` crate.
+//!
+//! The build environment has no access to a crates registry (see
+//! `vendor/README.md`), so this shim implements the API shape the workspace
+//! uses: [`Pool::new`], [`Pool::scoped`], [`Scope::execute`]. Jobs may borrow
+//! from the caller's stack; every job is joined before [`Pool::scoped`]
+//! returns, and a panicking job re-panics in the caller (after all sibling
+//! jobs have finished).
+//!
+//! Implementation notes, which differ from the upstream crate but are
+//! observationally equivalent for this workspace:
+//!
+//! * Built entirely on [`std::thread::scope`] — no `unsafe` (the workspace
+//!   denies it), no persistent worker threads. Each `execute` spawns one OS
+//!   thread; on Linux that costs tens of microseconds, far below the
+//!   millisecond-scale probe solves and CG batches the workspace runs on it.
+//! * Because threads are per-job, [`Pool::thread_count`] is a *width
+//!   contract*, not a multiplexing cap: callers (see `ingrass-par`) submit at
+//!   most `thread_count()` jobs per scope and share finer-grained work inside
+//!   them via an atomic cursor.
+
+use std::thread;
+
+/// A scoped "pool" with a fixed parallel width.
+///
+/// ```
+/// use scoped_threadpool::Pool;
+/// let pool = Pool::new(4);
+/// let mut parts = [0u64; 4];
+/// pool.scoped(|scope| {
+///     for (i, slot) in parts.iter_mut().enumerate() {
+///         scope.execute(move || *slot = i as u64 + 1);
+///     }
+/// });
+/// assert_eq!(parts.iter().sum::<u64>(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool of the given width. A width of 0 is clamped to 1.
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The width this pool was created with.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with a [`Scope`] handle that can spawn borrowing jobs.
+    ///
+    /// Returns `f`'s value after **all** executed jobs have finished.
+    ///
+    /// # Panics
+    /// Re-panics in the caller if any job panicked (after joining the rest),
+    /// mirroring [`std::thread::scope`] semantics.
+    pub fn scoped<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        thread::scope(|s| f(&Scope { inner: s }))
+    }
+}
+
+/// Handle for spawning jobs inside one [`Pool::scoped`] call.
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns one job. The job may borrow anything that outlives the
+    /// enclosing [`Pool::scoped`] call.
+    pub fn execute<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.inner.spawn(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn zero_width_clamps_to_one() {
+        assert_eq!(Pool::new(0).thread_count(), 1);
+        assert_eq!(Pool::new(3).thread_count(), 3);
+    }
+
+    #[test]
+    fn jobs_borrow_and_all_run() {
+        let pool = Pool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scoped(|s| {
+            for _ in 0..16 {
+                s.execute(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn scope_with_no_jobs_returns_value() {
+        let pool = Pool::new(2);
+        let v = pool.scoped(|_| 7);
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn mutable_disjoint_borrows_work() {
+        let pool = Pool::new(3);
+        let mut data = vec![0usize; 9];
+        pool.scoped(|s| {
+            for (i, chunk) in data.chunks_mut(3).enumerate() {
+                s.execute(move || {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = 3 * i + j;
+                    }
+                });
+            }
+        });
+        assert_eq!(data, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_job_propagates_after_join() {
+        let pool = Pool::new(2);
+        let finished = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scoped(|s| {
+                s.execute(|| panic!("job failed"));
+                s.execute(|| {
+                    finished.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // The sibling job was still joined before the re-panic.
+        assert_eq!(finished.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_is_reusable() {
+        let pool = Pool::new(2);
+        for round in 1..=3usize {
+            let sum = AtomicUsize::new(0);
+            pool.scoped(|s| {
+                for _ in 0..round {
+                    s.execute(|| {
+                        sum.fetch_add(round, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), round * round);
+        }
+    }
+}
