@@ -27,20 +27,29 @@
 //!   (default 0.25 = 25 %, plus a 5 ms absolute floor against timer noise).
 //!
 //! The emitted JSON schema (`schema_version` 1) is documented in the README
-//! ("Benchmarking & perf tracking").
+//! ("Benchmarking & perf tracking"). Backward-compatible additions: one
+//! `<case>/krylov/churn` scenario per case exercising the operation-log
+//! engine under a mixed insert/delete/reweight stream (drift-driven
+//! re-setups enabled), plus a top-level `update_mix` metadata object with
+//! the churn ratios. Baselines without churn scenarios still gate cleanly —
+//! the gate only compares scenario ids present in the baseline.
 
-use ingrass::{InGrassEngine, PhaseTimer, ResistanceBackend, SetupConfig, UpdateConfig};
+use ingrass::{InGrassEngine, PhaseTimer, ResistanceBackend, SetupConfig, UpdateConfig, UpdateOp};
 use ingrass_baselines::GrassSparsifier;
 use ingrass_bench::fmt_secs;
 use ingrass_bench::json::{obj, scenario_metrics, Json};
-use ingrass_gen::{InsertionStream, TestCase};
+use ingrass_gen::{ChurnConfig, ChurnOp, ChurnStream, InsertionStream, TestCase};
 use ingrass_graph::{DynGraph, Graph};
-use ingrass_metrics::{estimate_condition_number, ConditionOptions, SparsifierDensity};
+use ingrass_metrics::{
+    estimate_condition_number, ConditionOptions, ConditionTrajectory, SparsifierDensity,
+};
 use ingrass_resistance::{JlConfig, KrylovConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Bumped whenever a field changes meaning; readers must check it.
+/// Additions (the churn scenarios, `update_mix`) are backward-compatible
+/// and do not bump it.
 const SCHEMA_VERSION: f64 = 1.0;
 
 /// Times a fixed integer-arithmetic kernel (~1.6·10⁸ wrapping ops) as a
@@ -187,12 +196,14 @@ fn backend_config(name: &str, threads: Option<usize>) -> ResistanceBackend {
 /// The backend-independent fixture of one case: the generated graph, its
 /// GRASS initial sparsifier, the insertion stream, and the cumulative final
 /// graph — computed once per case, shared by every backend scenario (the
-/// GRASS sparsification is the expensive part at `--scale paper`).
+/// GRASS sparsification is the expensive part at `--scale paper`). The
+/// churn scenario adds a paper-shaped mixed stream and its final graph.
 struct CaseFixture {
     g0: Graph,
     h0: Graph,
     stream: InsertionStream,
     g_final: Graph,
+    churn: ChurnStream,
 }
 
 impl CaseFixture {
@@ -212,13 +223,136 @@ impl CaseFixture {
             }
         }
         let g_final = g_cum.to_graph();
+        let churn = ChurnStream::paper_default(&g0, args.seed ^ 0xc4a2);
         CaseFixture {
             g0,
             h0,
             stream,
             g_final,
+            churn,
         }
     }
+}
+
+/// Bridges generator churn ops into engine update ops (the facade crate
+/// owns the public conversion; the bench binary avoids the extra edge).
+fn to_update_ops(batch: &[ChurnOp]) -> Vec<UpdateOp> {
+    batch
+        .iter()
+        .map(|op| match *op {
+            ChurnOp::Insert(u, v, weight) => UpdateOp::Insert { u, v, weight },
+            ChurnOp::Delete(u, v) => UpdateOp::Delete { u, v },
+            ChurnOp::Reweight(u, v, weight) => UpdateOp::Reweight { u, v, weight },
+        })
+        .collect()
+}
+
+/// Runs the churn scenario of one case: operation-log engine (Krylov
+/// backend, default drift policy) over the mixed stream, with the
+/// condition-number trajectory tracked across batches and re-setups.
+fn run_churn_scenario(case: TestCase, fixture: &CaseFixture, args: &Args) -> Json {
+    let setup_cfg = SetupConfig::default()
+        .with_seed(args.seed)
+        .with_resistance(backend_config("krylov", args.threads));
+    let mut engine = InGrassEngine::setup(&fixture.h0, &setup_cfg).expect("churn setup");
+    let ucfg = UpdateConfig::default();
+
+    let mut timer = PhaseTimer::start();
+    timer.lap();
+    let mut wall = std::time::Duration::ZERO;
+    let mut trajectory = ConditionTrajectory::new();
+    // Ground truth follows the stream prefix: batch `i`'s quality sample
+    // compares H_i against G_i, not against the final graph (edges the
+    // stream has not delivered yet are no fault of the sparsifier).
+    let mut g_now = DynGraph::from_graph(&fixture.g0);
+    for (i, batch) in fixture.churn.batches().iter().enumerate() {
+        let ops = to_update_ops(batch);
+        for op in &ops {
+            match *op {
+                UpdateOp::Insert { u, v, weight } => {
+                    g_now
+                        .add_edge(u.into(), v.into(), weight)
+                        .expect("churn stream is consistent");
+                }
+                UpdateOp::Delete { u, v } => {
+                    g_now.remove_edge(u.into(), v.into());
+                }
+                UpdateOp::Reweight { u, v, weight } => {
+                    if let Some(id) = g_now.edge_id(u.into(), v.into()) {
+                        g_now.set_weight(id, weight).expect("valid reweight");
+                    }
+                }
+            }
+        }
+        timer.lap();
+        let report = engine.apply_batch(&ops, &ucfg).expect("churn update");
+        wall += timer.lap();
+        // Quality tracking happens outside the timed region.
+        let est = estimate_condition_number(
+            &g_now.to_graph(),
+            &engine.sparsifier_graph(),
+            &ConditionOptions::fast(),
+        )
+        .expect("churn condition estimate");
+        trajectory.record(i, &est, report.resetup.is_some());
+    }
+
+    let density = SparsifierDensity::new(fixture.g0.num_nodes())
+        .report_graphs(&engine.sparsifier_graph(), &fixture.g0)
+        .off_tree;
+    let ledger = engine.ledger();
+    println!(
+        "{:<14} {:<7} churn {:>10}  κ {:>8.2} (max {:>8.2})  resetups {}  density {:.4}",
+        case.name(),
+        "krylov",
+        fmt_secs(wall.as_secs_f64()),
+        trajectory.final_lambda_max().unwrap_or(f64::NAN),
+        trajectory.max_lambda_max().unwrap_or(f64::NAN),
+        engine.resetups(),
+        density,
+    );
+
+    let trajectory_json: Vec<Json> = trajectory
+        .points()
+        .iter()
+        .map(|p| {
+            obj(vec![
+                ("batch", Json::Num(p.batch as f64)),
+                ("lambda_max", Json::Num(p.lambda_max)),
+                ("kappa", Json::Num(p.kappa)),
+                ("resetup", Json::Bool(p.resetup)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("id", Json::Str(format!("{}/krylov/churn", case.name()))),
+        ("case", Json::Str(case.name().to_string())),
+        ("backend", Json::Str("krylov".to_string())),
+        ("kind", Json::Str("churn".to_string())),
+        ("nodes", Json::Num(fixture.g0.num_nodes() as f64)),
+        ("edges", Json::Num(fixture.g0.num_edges() as f64)),
+        ("churn_wall_s", Json::Num(wall.as_secs_f64())),
+        ("churn_ops", Json::Num(fixture.churn.total_ops() as f64)),
+        ("churn_inserts", Json::Num(fixture.churn.inserts() as f64)),
+        ("churn_deletes", Json::Num(fixture.churn.deletes() as f64)),
+        (
+            "churn_reweights",
+            Json::Num(fixture.churn.reweights() as f64),
+        ),
+        ("churn_relinks", Json::Num(ledger.relinks() as f64)),
+        ("churn_vacuous", Json::Num(ledger.vacuous() as f64)),
+        ("churn_resetups", Json::Num(engine.resetups() as f64)),
+        (
+            "condition_churn_final",
+            Json::Num(trajectory.final_lambda_max().unwrap_or(f64::NAN)),
+        ),
+        (
+            "condition_churn_max",
+            Json::Num(trajectory.max_lambda_max().unwrap_or(f64::NAN)),
+        ),
+        ("offtree_density_final", Json::Num(density)),
+        ("condition_trajectory", Json::Arr(trajectory_json)),
+    ])
 }
 
 /// Runs one (case, backend) scenario: inGRASS setup (timed, with the
@@ -231,6 +365,7 @@ fn run_scenario(case: TestCase, fixture: &CaseFixture, backend: &str, args: &Arg
         h0,
         stream,
         g_final,
+        ..
     } = fixture;
     let setup_cfg = SetupConfig::default()
         .with_seed(args.seed)
@@ -401,6 +536,7 @@ fn main() -> ExitCode {
         for backend in BACKENDS {
             scenarios.push(run_scenario(case, &fixture, backend, &args));
         }
+        scenarios.push(run_churn_scenario(case, &fixture, &args));
     }
 
     let doc = obj(vec![
@@ -411,6 +547,26 @@ fn main() -> ExitCode {
         ("seed", Json::Num(args.seed as f64)),
         ("threads", Json::Num(threads_effective as f64)),
         ("calibration_s", Json::Num(calibration_s)),
+        (
+            "update_mix",
+            obj(vec![
+                (
+                    "delete_fraction",
+                    Json::Num(ChurnConfig::PAPER_DELETE_FRACTION),
+                ),
+                (
+                    "reweight_fraction",
+                    Json::Num(ChurnConfig::PAPER_REWEIGHT_FRACTION),
+                ),
+                (
+                    "insert_fraction",
+                    Json::Num(
+                        1.0 - ChurnConfig::PAPER_DELETE_FRACTION
+                            - ChurnConfig::PAPER_REWEIGHT_FRACTION,
+                    ),
+                ),
+            ]),
+        ),
         ("scenarios", Json::Arr(scenarios)),
     ]);
 

@@ -22,6 +22,52 @@ impl Default for ResistanceBackend {
     }
 }
 
+/// When accumulated churn drift forces an automatic re-setup.
+///
+/// The paper treats setup as a one-time phase; this policy makes the
+/// setup/update split configurable. Deletions and reweights degrade the
+/// cached LRD embedding (cluster diameters were certified by paths that may
+/// have used the churned edges); the engine's [`crate::UpdateLedger`] tracks
+/// that degradation and, when any threshold below is crossed at the end of
+/// an [`crate::InGrassEngine::apply_batch`] call, rebuilds the hierarchy
+/// from the live sparsifier.
+#[derive(Debug, Clone)]
+pub struct DriftPolicy {
+    /// Re-setup when deleted weight exceeds this fraction of the sparsifier
+    /// weight at the last (re)setup (default 0.2).
+    pub max_deleted_weight_fraction: f64,
+    /// Re-setup when accumulated churn distortion `Σ w·R̂` exceeds this
+    /// fraction of the sparsifier's total leverage `n − 1` (default 0.25).
+    pub max_distortion_fraction: f64,
+    /// Re-setup when any single cluster absorbs more than this many stale
+    /// operations (default 4096).
+    pub max_cluster_staleness: u32,
+    /// Master switch; `false` restores the paper's insert-only lifecycle
+    /// where setup never re-runs (default `true`).
+    pub auto_resetup: bool,
+}
+
+impl Default for DriftPolicy {
+    fn default() -> Self {
+        DriftPolicy {
+            max_deleted_weight_fraction: 0.2,
+            max_distortion_fraction: 0.25,
+            max_cluster_staleness: 4096,
+            auto_resetup: true,
+        }
+    }
+}
+
+impl DriftPolicy {
+    /// A policy that never re-runs setup (the paper's hard lifecycle).
+    pub fn never() -> Self {
+        DriftPolicy {
+            auto_resetup: false,
+            ..Default::default()
+        }
+    }
+}
+
 /// Configuration of the one-time setup phase.
 #[derive(Debug, Clone)]
 pub struct SetupConfig {
@@ -39,6 +85,8 @@ pub struct SetupConfig {
     pub max_levels: usize,
     /// RNG seed threaded into the resistance estimator.
     pub seed: u64,
+    /// When churn drift triggers an automatic re-setup.
+    pub drift: DriftPolicy,
 }
 
 impl Default for SetupConfig {
@@ -49,6 +97,7 @@ impl Default for SetupConfig {
             initial_diameter: None,
             max_levels: 64,
             seed: 42,
+            drift: DriftPolicy::default(),
         }
     }
 }
@@ -69,6 +118,12 @@ impl SetupConfig {
     /// Returns the config with the given seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns the config with the given drift policy.
+    pub fn with_drift(mut self, drift: DriftPolicy) -> Self {
+        self.drift = drift;
         self
     }
 }
@@ -119,9 +174,20 @@ mod tests {
         let s = SetupConfig::default()
             .with_diameter_growth(2.0)
             .with_seed(9)
-            .with_resistance(ResistanceBackend::LocalOnly);
+            .with_resistance(ResistanceBackend::LocalOnly)
+            .with_drift(DriftPolicy::never());
         assert_eq!(s.diameter_growth, 2.0);
         assert_eq!(s.seed, 9);
         assert!(matches!(s.resistance, ResistanceBackend::LocalOnly));
+        assert!(!s.drift.auto_resetup);
+    }
+
+    #[test]
+    fn drift_policy_defaults_are_sane() {
+        let p = DriftPolicy::default();
+        assert!(p.auto_resetup);
+        assert!(p.max_deleted_weight_fraction > 0.0 && p.max_deleted_weight_fraction < 1.0);
+        assert!(p.max_distortion_fraction > 0.0);
+        assert!(!DriftPolicy::never().auto_resetup);
     }
 }

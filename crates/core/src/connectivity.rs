@@ -18,13 +18,22 @@ use std::collections::HashMap;
 ///
 /// It is updated (`register_edge`) whenever the engine includes a new edge,
 /// exactly as the paper prescribes ("the sparse data structure is promptly
-/// updated upon the addition of a newly introduced edge").
+/// updated upon the addition of a newly introduced edge"), and
+/// (`unregister_edge`) whenever a churn deletion removes one.
+///
+/// Deletions make entries *stale*: a representative edge id may be dead in
+/// `H`, and intra lists may carry dead ids. Readers therefore filter by
+/// liveness ([`ClusterConnectivity::connecting_live_edge`]); intra lists are
+/// compacted lazily once more than half of a list is dead, keeping deletion
+/// amortized `O(levels)` even for the top-level list that holds every edge.
 #[derive(Debug, Clone)]
 pub struct ClusterConnectivity {
     /// One map per level: canonical cluster pair → representative edge.
     pair_maps: Vec<HashMap<(u32, u32), EdgeId>>,
     /// One map per level: cluster → edges fully inside it.
     intra_maps: Vec<HashMap<u32, Vec<EdgeId>>>,
+    /// One map per level: cluster → dead entries in its intra list.
+    intra_dead: Vec<HashMap<u32, u32>>,
 }
 
 impl ClusterConnectivity {
@@ -34,15 +43,24 @@ impl ClusterConnectivity {
         let mut conn = ClusterConnectivity {
             pair_maps: vec![HashMap::new(); levels],
             intra_maps: vec![HashMap::new(); levels],
+            intra_dead: vec![HashMap::new(); levels],
         };
         for (id, edge) in h.edges_iter() {
-            conn.register_edge(hierarchy, id, edge.u, edge.v);
+            conn.register_edge(hierarchy, h, id, edge.u, edge.v);
         }
         conn
     }
 
-    /// Registers a (new) sparsifier edge at every level.
-    pub fn register_edge(&mut self, hierarchy: &LrdHierarchy, id: EdgeId, u: NodeId, v: NodeId) {
+    /// Registers a (new) sparsifier edge at every level. A pair entry whose
+    /// previous representative has died in `h` is repaired in place.
+    pub fn register_edge(
+        &mut self,
+        hierarchy: &LrdHierarchy,
+        h: &DynGraph,
+        id: EdgeId,
+        u: NodeId,
+        v: NodeId,
+    ) {
         for (level, lvl) in hierarchy.levels().iter().enumerate() {
             let (mut cu, mut cv) = (lvl.cluster_of[u.index()], lvl.cluster_of[v.index()]);
             if cu == cv {
@@ -51,7 +69,44 @@ impl ClusterConnectivity {
                 if cu > cv {
                     std::mem::swap(&mut cu, &mut cv);
                 }
-                self.pair_maps[level].entry((cu, cv)).or_insert(id);
+                let entry = self.pair_maps[level].entry((cu, cv)).or_insert(id);
+                if h.edge(*entry).is_none() {
+                    *entry = id;
+                }
+            }
+        }
+    }
+
+    /// Unregisters a deleted sparsifier edge at every level: pair entries
+    /// pointing at it are dropped (a later include repairs the pair), and
+    /// its intra lists are compacted lazily via the half-dead rule.
+    pub fn unregister_edge(
+        &mut self,
+        hierarchy: &LrdHierarchy,
+        h: &DynGraph,
+        id: EdgeId,
+        u: NodeId,
+        v: NodeId,
+    ) {
+        for (level, lvl) in hierarchy.levels().iter().enumerate() {
+            let (mut cu, mut cv) = (lvl.cluster_of[u.index()], lvl.cluster_of[v.index()]);
+            if cu == cv {
+                let Some(list) = self.intra_maps[level].get_mut(&cu) else {
+                    continue;
+                };
+                let dead = self.intra_dead[level].entry(cu).or_insert(0);
+                *dead += 1;
+                if (*dead as usize) * 2 > list.len() {
+                    list.retain(|&e| h.edge(e).is_some() && e != id);
+                    *dead = 0;
+                }
+            } else {
+                if cu > cv {
+                    std::mem::swap(&mut cu, &mut cv);
+                }
+                if self.pair_maps[level].get(&(cu, cv)) == Some(&id) {
+                    self.pair_maps[level].remove(&(cu, cv));
+                }
             }
         }
     }
@@ -64,6 +119,20 @@ impl ClusterConnectivity {
     pub fn connecting_edge(&self, level: usize, a: u32, b: u32) -> Option<EdgeId> {
         let key = if a <= b { (a, b) } else { (b, a) };
         self.pair_maps[level].get(&key).copied()
+    }
+
+    /// Like [`ClusterConnectivity::connecting_edge`], but filters out a
+    /// representative that has died in `h` (deleted by churn and not yet
+    /// repaired by a later include).
+    pub fn connecting_live_edge(
+        &self,
+        level: usize,
+        a: u32,
+        b: u32,
+        h: &DynGraph,
+    ) -> Option<EdgeId> {
+        self.connecting_edge(level, a, b)
+            .filter(|&id| h.edge(id).is_some())
     }
 
     /// The sparsifier edges fully inside cluster `c` at `level`.
@@ -155,11 +224,62 @@ mod tests {
         assert!(created);
         let before = c.connecting_edge(0, 0, 15);
         assert!(before.is_none());
-        c.register_edge(&h, id, 0.into(), 15.into());
+        c.register_edge(&h, &d, id, 0.into(), 15.into());
         assert_eq!(c.connecting_edge(0, 0, 15), Some(id));
         // At the top level it lands in the intra registry.
         let top = h.num_levels() - 1;
         assert!(c.intra_edges(top, 0).contains(&id));
+    }
+
+    #[test]
+    fn unregister_drops_pair_and_register_repairs_dead_reps() {
+        let g = grid_2d(4, 4, WeightModel::Unit, 5);
+        let (mut d, h, mut c) = setup(&g);
+        // Level 0: every edge is its own pair representative.
+        let (id, e) = d.edges_iter().next().unwrap();
+        assert_eq!(c.connecting_edge(0, e.u.raw(), e.v.raw()), Some(id));
+        d.remove_edge(e.u, e.v).unwrap();
+        assert_eq!(c.connecting_live_edge(0, e.u.raw(), e.v.raw(), &d), None);
+        c.unregister_edge(&h, &d, id, e.u, e.v);
+        assert_eq!(c.connecting_edge(0, e.u.raw(), e.v.raw()), None);
+        // Re-inserting the pair registers the fresh id.
+        let (id2, created) = d.add_edge(e.u, e.v, 2.0).unwrap();
+        assert!(created);
+        c.register_edge(&h, &d, id2, e.u, e.v);
+        assert_eq!(c.connecting_edge(0, e.u.raw(), e.v.raw()), Some(id2));
+        assert_eq!(
+            c.connecting_live_edge(0, e.u.raw(), e.v.raw(), &d),
+            Some(id2)
+        );
+    }
+
+    #[test]
+    fn intra_lists_compact_lazily_under_deletion() {
+        let g = grid_2d(6, 6, WeightModel::Unit, 6);
+        let (mut d, h, mut c) = setup(&g);
+        let top = h.num_levels() - 1;
+        let total = c.intra_edges(top, 0).len();
+        assert_eq!(total, g.num_edges());
+        // Delete well past half of all edges; the top-level intra list must
+        // shrink (half-dead compaction) and never return a majority of dead
+        // ids.
+        let victims: Vec<_> = d.edges_iter().collect();
+        let kill = total * 2 / 3;
+        for &(id, e) in victims.iter().take(kill) {
+            d.remove_edge(e.u, e.v).unwrap();
+            c.unregister_edge(&h, &d, id, e.u, e.v);
+        }
+        let list = c.intra_edges(top, 0);
+        assert!(
+            list.len() < total,
+            "top intra list never compacted: {} entries",
+            list.len()
+        );
+        let live = list.iter().filter(|&&e| d.edge(e).is_some()).count();
+        assert!(
+            2 * live >= list.len(),
+            "list majority-dead after compaction"
+        );
     }
 
     #[test]

@@ -3,15 +3,35 @@
 use crate::config::{ResistanceBackend, SetupConfig, UpdateConfig};
 use crate::connectivity::ClusterConnectivity;
 use crate::error::InGrassError;
+use crate::ledger::{UpdateLedger, UpdateOp};
 use crate::lrd::LrdHierarchy;
 use crate::report::{EdgeOutcome, PhaseTimer, SetupReport, UpdateReport};
 use crate::Result;
 use ingrass_graph::{is_connected, DynGraph, Graph, NodeId};
 use ingrass_resistance::{JlEmbedder, KrylovEmbedder, ResistanceEstimator};
 
+/// The setup-phase artifacts rebuilt at every (re)setup.
+struct SetupArtifacts {
+    hierarchy: LrdHierarchy,
+    connectivity: ClusterConnectivity,
+    h: DynGraph,
+    report: SetupReport,
+}
+
 /// The inGRASS engine: owns the sparsifier `H` and the setup-phase
 /// artifacts (LRD hierarchy + cluster connectivity), and applies streamed
-/// edge insertions in `O(log N)` per edge.
+/// update operations in `O(log N)` per insertion. Deletions additionally
+/// run a bidirectional connectivity probe that stops as soon as an
+/// alternative path between the endpoints is found — local (a few hops)
+/// for the typical non-bridge deletion, `O(N + M)` worst case only when
+/// the deleted edge really is a bridge (which then triggers a re-link).
+///
+/// All mutations flow through [`InGrassEngine::apply_batch`] as
+/// [`UpdateOp`]s (insertions, deletions, reweights); every operation is
+/// recorded in the [`UpdateLedger`], whose drift tracker re-runs the setup
+/// phase automatically once the configured [`crate::DriftPolicy`] is
+/// exceeded. [`InGrassEngine::insert_batch`] remains as a thin
+/// insert-only compatibility wrapper.
 ///
 /// See the [crate-level documentation](crate) for the full algorithm and a
 /// quickstart; paper: Algorithm 1.
@@ -20,7 +40,21 @@ pub struct InGrassEngine {
     hierarchy: LrdHierarchy,
     connectivity: ClusterConnectivity,
     h: DynGraph,
+    /// Per-edge *merged surplus*: the part of an edge's weight that was
+    /// absorbed from other logical edges (merge/redistribute outcomes),
+    /// indexed by edge id. Deleting an edge only removes its own original
+    /// weight — the surplus belongs to graph edges that still exist, so the
+    /// deletion path re-injects it through the filter instead of dropping
+    /// it. Reset at every (re)setup epoch (ids are compacted).
+    surplus: Vec<f64>,
+    /// Scratch for the deletion path's connectivity probe: per-node visit
+    /// stamps (two fresh marks per probe), reused so a probe allocates no
+    /// `O(n)` buffer.
+    probe_mark: Vec<u64>,
+    probe_epoch: u64,
     setup_report: SetupReport,
+    setup_cfg: SetupConfig,
+    ledger: UpdateLedger,
     updates_applied: usize,
 }
 
@@ -31,10 +65,34 @@ impl InGrassEngine {
     /// resistance of every sparsifier edge, build the multilevel LRD
     /// decomposition, and index cluster connectivity at every level.
     ///
+    /// The configuration is retained: its [`crate::DriftPolicy`] governs
+    /// when churn triggers an automatic re-setup over the same pipeline.
+    ///
     /// # Errors
     /// [`InGrassError::BadSparsifier`] if `h0` is empty or disconnected;
     /// [`InGrassError::InvalidConfig`] for bad configuration values.
     pub fn setup(h0: &Graph, cfg: &SetupConfig) -> Result<Self> {
+        let built = Self::build_artifacts(h0, cfg)?;
+        let ledger = UpdateLedger::new(built.h.total_weight(), &built.hierarchy);
+        let surplus = vec![0.0; built.h.num_edges()];
+        let probe_mark = vec![0; built.h.num_nodes()];
+        Ok(InGrassEngine {
+            hierarchy: built.hierarchy,
+            connectivity: built.connectivity,
+            h: built.h,
+            surplus,
+            probe_mark,
+            probe_epoch: 0,
+            setup_report: built.report,
+            setup_cfg: cfg.clone(),
+            ledger,
+            updates_applied: 0,
+        })
+    }
+
+    /// The three setup phases, shared by [`InGrassEngine::setup`] and every
+    /// drift-driven re-setup.
+    fn build_artifacts(h0: &Graph, cfg: &SetupConfig) -> Result<SetupArtifacts> {
         let mut timer = PhaseTimer::start();
         if h0.num_nodes() == 0 {
             return Err(InGrassError::BadSparsifier("no nodes".into()));
@@ -80,7 +138,7 @@ impl InGrassEngine {
         let connectivity = ClusterConnectivity::build(&h, &hierarchy);
         let connectivity_time = timer.lap();
 
-        let setup_report = SetupReport {
+        let report = SetupReport {
             nodes: h0.num_nodes(),
             edges: h0.num_edges(),
             levels: hierarchy.num_levels(),
@@ -89,32 +147,72 @@ impl InGrassEngine {
             connectivity_time,
             total_time: timer.total(),
         };
-        Ok(InGrassEngine {
+        Ok(SetupArtifacts {
             hierarchy,
             connectivity,
             h,
-            setup_report,
-            updates_applied: 0,
+            report,
         })
     }
 
-    /// Applies one batch of newly inserted edges `(u, v, weight)` (paper
-    /// Algorithm 1, lines 4–5).
+    /// Re-runs the setup phase on the *live* sparsifier: fresh resistance
+    /// estimates, a fresh LRD hierarchy, and a fresh connectivity index
+    /// (with compacted edge ids). The ledger's drift tracker and staleness
+    /// counters reset; lifetime operation counters survive.
+    ///
+    /// Called automatically by [`InGrassEngine::apply_batch`] when the
+    /// [`crate::DriftPolicy`] threshold is crossed; public so callers can
+    /// force a re-setup at their own cadence.
+    ///
+    /// # Errors
+    /// Propagates setup errors (the live sparsifier is connected by
+    /// invariant, so these indicate estimator failure).
+    pub fn resetup(&mut self) -> Result<&SetupReport> {
+        let snapshot = self.h.to_graph();
+        let built = Self::build_artifacts(&snapshot, &self.setup_cfg)?;
+        self.hierarchy = built.hierarchy;
+        self.connectivity = built.connectivity;
+        self.h = built.h;
+        self.surplus = vec![0.0; self.h.num_edges()];
+        self.setup_report = built.report;
+        self.ledger
+            .begin_epoch(self.h.total_weight(), &self.hierarchy);
+        Ok(&self.setup_report)
+    }
+
+    /// Applies one batch of update operations (insertions, deletions,
+    /// reweights) — the uniform mutation path.
     ///
     /// The batch is validated up front (no partial application on invalid
-    /// input), ranked by estimated spectral distortion `w·R̂` (descending,
-    /// unless disabled), and each edge is included / merged / redistributed
-    /// at the filtering level derived from `cfg.target_condition`.
+    /// input). Runs of consecutive insertions are ranked by estimated
+    /// spectral distortion `w·R̂` (descending, unless disabled) exactly like
+    /// the paper's insert-only update phase; deletions and reweights act as
+    /// ordering barriers so that rip-up sequences (delete then re-insert)
+    /// keep their meaning. After the batch, the drift tracker is consulted
+    /// and — if the configured [`crate::DriftPolicy`] was exceeded — a
+    /// re-setup runs before this call returns (reported in
+    /// [`UpdateReport::resetup`]).
+    ///
+    /// Operation semantics:
+    ///
+    /// * [`UpdateOp::Insert`] — include / merge / redistribute at the
+    ///   filtering level (paper Fig. 3).
+    /// * [`UpdateOp::Delete`] — remove the edge from the sparsifier; a
+    ///   bridge deletion re-links the endpoints with weight
+    ///   `min(w, 1/R̂(u,v))` (the hierarchy's alternative-path conductance
+    ///   estimate) so the sparsifier stays connected. Deleting an edge the
+    ///   sparsifier never carried is vacuous (its weight was filtered or
+    ///   merged away) but still counts toward staleness.
+    /// * [`UpdateOp::Reweight`] — overwrite the weight in place when the
+    ///   sparsifier carries the edge; vacuous otherwise. Callers that need
+    ///   exact semantics for absorbed edges should rip-up (delete +
+    ///   re-insert).
     ///
     /// # Errors
     /// [`InGrassError::InvalidConfig`] if `target_condition < 2`;
-    /// [`InGrassError::Graph`] if an edge references an unknown node, is a
-    /// self-loop, or carries a non-positive weight.
-    pub fn insert_batch(
-        &mut self,
-        edges: &[(usize, usize, f64)],
-        cfg: &UpdateConfig,
-    ) -> Result<UpdateReport> {
+    /// [`InGrassError::Graph`] if an operation references an unknown node,
+    /// a self-loop, or carries a non-positive weight.
+    pub fn apply_batch(&mut self, ops: &[UpdateOp], cfg: &UpdateConfig) -> Result<UpdateReport> {
         let timer = PhaseTimer::start();
         if cfg.target_condition < 2.0 {
             return Err(InGrassError::InvalidConfig(format!(
@@ -123,7 +221,8 @@ impl InGrassEngine {
             )));
         }
         let n = self.h.num_nodes();
-        for &(u, v, w) in edges {
+        for op in ops {
+            let (u, v) = op.endpoints();
             if u >= n || v >= n {
                 return Err(InGrassError::Graph(format!(
                     "edge ({u},{v}) out of bounds for {n} nodes"
@@ -132,60 +231,135 @@ impl InGrassEngine {
             if u == v {
                 return Err(InGrassError::Graph(format!("self-loop at node {u}")));
             }
-            if w <= 0.0 || !w.is_finite() {
-                return Err(InGrassError::Graph(format!(
-                    "edge ({u},{v}) has invalid weight {w}"
-                )));
+            if let Some(w) = op.weight() {
+                if w <= 0.0 || !w.is_finite() {
+                    return Err(InGrassError::Graph(format!(
+                        "edge ({u},{v}) has invalid weight {w}"
+                    )));
+                }
             }
         }
 
-        let level = cfg
-            .filtering_level_override
-            .map(|l| l.min(self.hierarchy.num_levels() - 1))
-            .unwrap_or_else(|| self.hierarchy.filtering_level(cfg.target_condition));
+        let level = self.filtering_level_for(cfg);
 
         // Spectral distortion estimation (update phase 1): O(levels) per
-        // edge via the LRD embedding. The scores are independent reads of
+        // insert via the LRD embedding. The scores are independent reads of
         // the hierarchy, so huge batches fan out across threads (scores land
-        // by index — identical at any width); typical O(10³)-edge batches
+        // by index — identical at any width); typical O(10³)-op batches
         // stay serial per the shared ingrass-par threshold.
         let hierarchy = &self.hierarchy;
-        let scores: Vec<f64> = ingrass_par::par_map_auto(edges, |&(u, v, w)| {
-            let r = hierarchy.resistance_bound(NodeId::new(u), NodeId::new(v));
-            w * r.min(f64::MAX / 2.0)
+        let scores: Vec<f64> = ingrass_par::par_map_auto(ops, |op| match *op {
+            UpdateOp::Insert { u, v, weight } => {
+                let r = hierarchy.resistance_bound(NodeId::new(u), NodeId::new(v));
+                weight * r.min(f64::MAX / 2.0)
+            }
+            _ => 0.0,
         });
-        let mut order: Vec<(usize, f64)> = scores.into_iter().enumerate().collect();
-        if cfg.sort_by_distortion {
-            order.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        }
-        let max_distortion = order.iter().map(|&(_, d)| d).fold(0.0f64, f64::max);
 
-        // Spectral similarity filtering (update phase 2).
-        let mut included = 0usize;
-        let mut merged = 0usize;
-        let mut redistributed = 0usize;
-        for &(idx, _) in &order {
-            let (u, v, w) = edges[idx];
-            match self.apply_edge(NodeId::new(u), NodeId::new(v), w, level)? {
-                EdgeOutcome::Included => included += 1,
-                EdgeOutcome::Merged => merged += 1,
-                EdgeOutcome::Redistributed => redistributed += 1,
+        // Ordering: each maximal run of consecutive inserts is sorted by
+        // distortion (the paper's ranking); deletes/reweights pin their
+        // position so mixed sequences keep their operational meaning.
+        let mut order: Vec<usize> = Vec::with_capacity(ops.len());
+        let mut run: Vec<usize> = Vec::new();
+        let flush = |order: &mut Vec<usize>, run: &mut Vec<usize>| {
+            if cfg.sort_by_distortion {
+                run.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+            }
+            order.append(run);
+        };
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                UpdateOp::Insert { .. } => run.push(i),
+                _ => {
+                    flush(&mut order, &mut run);
+                    order.push(i);
+                }
             }
         }
-        self.updates_applied += edges.len();
+        flush(&mut order, &mut run);
 
-        Ok(UpdateReport {
-            batch_size: edges.len(),
-            included,
-            merged,
-            redistributed,
+        let mut report = UpdateReport {
+            batch_size: ops.len(),
+            included: 0,
+            merged: 0,
+            redistributed: 0,
+            deleted: 0,
+            relinked: 0,
+            reweighted: 0,
+            vacuous: 0,
             filtering_level: level,
-            max_distortion,
-            elapsed: timer.total(),
-        })
+            max_distortion: 0.0,
+            resetup: None,
+            drift_deleted_weight_fraction: 0.0,
+            drift_distortion_fraction: 0.0,
+            elapsed: std::time::Duration::ZERO,
+        };
+        for &idx in &order {
+            let outcome = match ops[idx] {
+                UpdateOp::Insert { u, v, weight } => {
+                    report.max_distortion = report.max_distortion.max(scores[idx]);
+                    self.ledger.note_insert();
+                    self.apply_edge(NodeId::new(u), NodeId::new(v), weight, level)?
+                }
+                UpdateOp::Delete { u, v } => {
+                    let (outcome, distortion) =
+                        self.apply_delete(NodeId::new(u), NodeId::new(v), level)?;
+                    report.max_distortion = report.max_distortion.max(distortion);
+                    outcome
+                }
+                UpdateOp::Reweight { u, v, weight } => {
+                    let (outcome, distortion) =
+                        self.apply_reweight(NodeId::new(u), NodeId::new(v), weight)?;
+                    report.max_distortion = report.max_distortion.max(distortion);
+                    outcome
+                }
+            };
+            match outcome {
+                EdgeOutcome::Included => report.included += 1,
+                EdgeOutcome::Merged => report.merged += 1,
+                EdgeOutcome::Redistributed => report.redistributed += 1,
+                EdgeOutcome::Deleted => report.deleted += 1,
+                EdgeOutcome::Relinked => report.relinked += 1,
+                EdgeOutcome::Reweighted => report.reweighted += 1,
+                EdgeOutcome::Vacuous => report.vacuous += 1,
+            }
+        }
+        self.updates_applied += ops.len();
+
+        // Drift policy: the setup/update split as a policy, not a lifecycle.
+        if let Some(reason) = self.ledger.should_resetup(&self.setup_cfg.drift) {
+            self.resetup()?;
+            report.resetup = Some(reason);
+        }
+        report.drift_deleted_weight_fraction = self.ledger.drift().deleted_weight_fraction();
+        report.drift_distortion_fraction = self.ledger.drift().distortion_fraction();
+        report.elapsed = timer.total();
+        Ok(report)
     }
 
-    /// Applies one edge at the given filtering level and reports its fate.
+    /// Applies one batch of newly inserted edges `(u, v, weight)` (paper
+    /// Algorithm 1, lines 4–5).
+    ///
+    /// Thin compatibility wrapper over [`InGrassEngine::apply_batch`] with
+    /// every operation an [`UpdateOp::Insert`]; insert-only batches behave
+    /// exactly as the bespoke pre-ledger path did.
+    ///
+    /// # Errors
+    /// As for [`InGrassEngine::apply_batch`].
+    pub fn insert_batch(
+        &mut self,
+        edges: &[(usize, usize, f64)],
+        cfg: &UpdateConfig,
+    ) -> Result<UpdateReport> {
+        let ops: Vec<UpdateOp> = edges
+            .iter()
+            .map(|&(u, v, weight)| UpdateOp::Insert { u, v, weight })
+            .collect();
+        self.apply_batch(&ops, cfg)
+    }
+
+    /// Applies one inserted edge at the given filtering level and reports
+    /// its fate.
     fn apply_edge(&mut self, u: NodeId, v: NodeId, w: f64, level: usize) -> Result<EdgeOutcome> {
         let lvl = self.hierarchy.level(level);
         let (cu, cv) = (lvl.cluster_of[u.index()], lvl.cluster_of[v.index()]);
@@ -208,19 +382,25 @@ impl InGrassEngine {
                             self.h
                                 .add_weight(e, share)
                                 .map_err(|err| InGrassError::Graph(err.to_string()))?;
+                            self.add_surplus(e, share);
                         }
                     }
                     return Ok(EdgeOutcome::Redistributed);
                 }
             }
             // Defensive fall-through (a cluster with no internal edges
-            // cannot arise from edge contraction, but stay safe): include.
-        } else if let Some(rep) = self.connectivity.connecting_edge(level, cu, cv) {
+            // cannot arise from edge contraction, but deletion churn can
+            // empty one): include.
+        } else if let Some(rep) = self
+            .connectivity
+            .connecting_live_edge(level, cu, cv, &self.h)
+        {
             // Clusters already connected: absorb the weight into the
             // existing representative edge.
             self.h
                 .add_weight(rep, w)
                 .map_err(|err| InGrassError::Graph(err.to_string()))?;
+            self.add_surplus(rep, w);
             return Ok(EdgeOutcome::Merged);
         }
 
@@ -230,9 +410,170 @@ impl InGrassEngine {
             .add_edge(u, v, w)
             .map_err(|err| InGrassError::Graph(err.to_string()))?;
         if created {
-            self.connectivity.register_edge(&self.hierarchy, id, u, v);
+            self.connectivity
+                .register_edge(&self.hierarchy, &self.h, id, u, v);
+        } else {
+            // A parallel logical edge landed on a pair the sparsifier
+            // already carries: the addition is absorbed weight.
+            self.add_surplus(id, w);
         }
         Ok(EdgeOutcome::Included)
+    }
+
+    /// Records absorbed weight on an edge (see the `surplus` field).
+    fn add_surplus(&mut self, id: ingrass_graph::EdgeId, w: f64) {
+        if self.surplus.len() <= id.index() {
+            self.surplus.resize(id.index() + 1, 0.0);
+        }
+        self.surplus[id.index()] += w;
+    }
+
+    /// The absorbed (non-original) share of an edge's weight.
+    fn surplus_of(&self, id: ingrass_graph::EdgeId) -> f64 {
+        self.surplus.get(id.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Applies one deletion at the given filtering level; returns the
+    /// outcome and the estimated distortion `w·R̂` the deletion contributes.
+    ///
+    /// Only the edge's *original* weight is removed: merged surplus belongs
+    /// to logical edges that still exist, so it is re-injected through the
+    /// filter (where it lands on another representative, spreads inside the
+    /// cluster, or — rarely — becomes a fresh edge).
+    fn apply_delete(&mut self, u: NodeId, v: NodeId, level: usize) -> Result<(EdgeOutcome, f64)> {
+        let Some(id) = self.h.edge_id(u, v) else {
+            // The sparsifier never carried this edge (filtered or merged
+            // away at insert time): nothing physical to undo, but the
+            // cluster's certified diameter still weakens.
+            self.ledger.note_vacuous(&self.hierarchy, u, v);
+            return Ok((EdgeOutcome::Vacuous, 0.0));
+        };
+        let w = self.h.edge(id).expect("indexed edge is live").weight;
+        let surplus = self.surplus_of(id).min(w);
+        let w_own = w - surplus;
+        let rhat = self.hierarchy.resistance_bound(u, v);
+        let distortion = if rhat.is_finite() { w_own * rhat } else { 0.0 };
+        self.h.remove_edge(u, v).expect("edge id was live");
+        if self.surplus.len() > id.index() {
+            self.surplus[id.index()] = 0.0;
+        }
+        self.connectivity
+            .unregister_edge(&self.hierarchy, &self.h, id, u, v);
+        if self.still_connected(u, v) {
+            if surplus > 0.0 {
+                self.apply_edge(u, v, surplus, level)?;
+            }
+            self.ledger
+                .note_delete(&self.hierarchy, u, v, w_own, rhat, false);
+            Ok((EdgeOutcome::Deleted, distortion))
+        } else {
+            // Bridge deletion: the sparsifier must stay connected (both the
+            // condition number and a future re-setup are undefined
+            // otherwise). Re-link the endpoints through the spanning
+            // structure with the hierarchy's alternative-path conductance
+            // estimate `1/R̂` — the weight the surviving paths would carry —
+            // capped by the deleted weight; absorbed surplus rides along on
+            // the re-link edge.
+            let relink_own = if rhat.is_finite() && rhat > 0.0 {
+                (1.0 / rhat).min(w_own)
+            } else {
+                w_own
+            };
+            let relink_w = (relink_own + surplus).max(f64::MIN_POSITIVE);
+            let (id2, created) = self
+                .h
+                .add_edge(u, v, relink_w)
+                .expect("relink endpoints are valid");
+            if created {
+                self.connectivity
+                    .register_edge(&self.hierarchy, &self.h, id2, u, v);
+                if surplus > 0.0 {
+                    self.add_surplus(id2, surplus);
+                }
+            }
+            self.ledger
+                .note_delete(&self.hierarchy, u, v, w_own - relink_own, rhat, true);
+            Ok((EdgeOutcome::Relinked, distortion))
+        }
+    }
+
+    /// Whether `u` and `v` are still connected in the live sparsifier —
+    /// the deletion path's bridge check.
+    ///
+    /// Bidirectional BFS over epoch-stamped scratch marks: the two
+    /// frontiers stop the moment they meet, so the typical non-bridge
+    /// deletion (whose alternative path is a handful of hops through the
+    /// neighbourhood) costs a few adjacency scans rather than the full
+    /// `O(N + M)` sweep a one-sided search would need; only a true bridge
+    /// pays for sweeping its (smaller) side of the cut.
+    fn still_connected(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return true;
+        }
+        // Two fresh marks per probe; stale marks from earlier probes can
+        // never collide because the epoch only grows.
+        self.probe_epoch += 2;
+        let (mark_u, mark_v) = (self.probe_epoch, self.probe_epoch | 1);
+        self.probe_mark[u.index()] = mark_u;
+        self.probe_mark[v.index()] = mark_v;
+        let mut frontier_u = vec![u];
+        let mut frontier_v = vec![v];
+        loop {
+            // Expand the smaller frontier (classic bidirectional search).
+            let from_u = frontier_u.len() <= frontier_v.len();
+            let (frontier, own, other) = if from_u {
+                (&mut frontier_u, mark_u, mark_v)
+            } else {
+                (&mut frontier_v, mark_v, mark_u)
+            };
+            if frontier.is_empty() {
+                return false;
+            }
+            let mut next = Vec::with_capacity(frontier.len());
+            for &x in frontier.iter() {
+                for (y, _, _) in self.h.neighbors(x) {
+                    let seen = self.probe_mark[y.index()];
+                    if seen == other {
+                        return true;
+                    }
+                    if seen != own {
+                        self.probe_mark[y.index()] = own;
+                        next.push(y);
+                    }
+                }
+            }
+            *frontier = next;
+        }
+    }
+
+    /// Applies one reweight; returns the outcome and the estimated
+    /// distortion `|Δw|·R̂` the change contributes.
+    ///
+    /// The new weight replaces the edge's *original* share; merged surplus
+    /// stays on the edge (it belongs to other logical edges).
+    fn apply_reweight(&mut self, u: NodeId, v: NodeId, w: f64) -> Result<(EdgeOutcome, f64)> {
+        let Some(id) = self.h.edge_id(u, v) else {
+            // The weight lives on a representative edge (or was filtered);
+            // exact semantics need a rip-up (delete + re-insert).
+            self.ledger.note_vacuous(&self.hierarchy, u, v);
+            return Ok((EdgeOutcome::Vacuous, 0.0));
+        };
+        let old = self.h.edge(id).expect("indexed edge is live").weight;
+        let surplus = self.surplus_of(id).min(old);
+        let old_own = old - surplus;
+        self.h
+            .set_weight(id, w + surplus)
+            .map_err(|err| InGrassError::Graph(err.to_string()))?;
+        let rhat = self.hierarchy.resistance_bound(u, v);
+        let removed = (old_own - w).max(0.0);
+        self.ledger
+            .note_reweight(&self.hierarchy, u, v, removed, rhat);
+        let distortion = if rhat.is_finite() {
+            (old_own - w).abs() * rhat
+        } else {
+            0.0
+        };
+        Ok((EdgeOutcome::Reweighted, distortion))
     }
 
     /// Estimated spectral distortion `w · R̂(u, v)` of a candidate edge.
@@ -241,8 +582,20 @@ impl InGrassEngine {
     }
 
     /// The filtering level that a target condition number selects.
+    ///
+    /// The [`LrdHierarchy`] owns the definition (paper Section III-C-2);
+    /// this method and every engine-internal path delegate to it.
     pub fn filtering_level(&self, target_condition: f64) -> usize {
         self.hierarchy.filtering_level(target_condition)
+    }
+
+    /// The filtering level an update config selects: the explicit override
+    /// (clamped to the hierarchy) when present, else the level derived from
+    /// the target condition number. The single internal source of truth.
+    fn filtering_level_for(&self, cfg: &UpdateConfig) -> usize {
+        cfg.filtering_level_override
+            .map(|l| l.min(self.hierarchy.num_levels() - 1))
+            .unwrap_or_else(|| self.filtering_level(cfg.target_condition))
     }
 
     /// The live sparsifier.
@@ -271,9 +624,21 @@ impl InGrassEngine {
         &self.setup_report
     }
 
-    /// Total number of stream edges processed so far.
+    /// Total number of stream operations processed so far.
     pub fn updates_applied(&self) -> usize {
         self.updates_applied
+    }
+
+    /// The operation ledger: lifetime insert/delete/reweight counters plus
+    /// the current epoch's drift tracker and staleness counters.
+    pub fn ledger(&self) -> &UpdateLedger {
+        &self.ledger
+    }
+
+    /// Automatic re-setups performed so far (convenience for
+    /// `ledger().resetups()`).
+    pub fn resetups(&self) -> usize {
+        self.ledger.resetups()
     }
 }
 
@@ -641,6 +1006,250 @@ mod tests {
             )
             .unwrap();
         assert_eq!(r.filtering_level, top);
+    }
+
+    #[test]
+    fn delete_of_included_edge_restores_edge_count() {
+        let (_g, h0) = sparsifier_fixture(14, 12);
+        let mut engine = InGrassEngine::setup(
+            &h0,
+            &SetupConfig::default().with_drift(crate::DriftPolicy::never()),
+        )
+        .unwrap();
+        let cfg = UpdateConfig {
+            target_condition: 8.0, // fine level → the insert is included
+            ..Default::default()
+        };
+        // Find a pair the engine will include (unique cluster pair).
+        let level = engine.filtering_level(cfg.target_condition);
+        let lvl = engine.hierarchy().level(level).clone();
+        let n = h0.num_nodes();
+        let mut pair = None;
+        'outer: for u in 0..n {
+            for v in (u + 1)..n {
+                let (cu, cv) = (lvl.cluster_of[u], lvl.cluster_of[v]);
+                if cu != cv
+                    && engine
+                        .connectivity()
+                        .connecting_edge(level, cu, cv)
+                        .is_none()
+                    && h0.edge_weight(u.into(), v.into()).is_none()
+                {
+                    pair = Some((u, v));
+                    break 'outer;
+                }
+            }
+        }
+        let (u, v) = pair.expect("fine level has unconnected cluster pairs");
+        let before = engine.sparsifier().num_edges();
+        let r = engine
+            .apply_batch(&[UpdateOp::Insert { u, v, weight: 1.0 }], &cfg)
+            .unwrap();
+        assert_eq!(r.included, 1);
+        assert_eq!(engine.sparsifier().num_edges(), before + 1);
+
+        let r = engine
+            .apply_batch(&[UpdateOp::Delete { u, v }], &cfg)
+            .unwrap();
+        assert_eq!(r.deleted, 1, "{r:?}");
+        assert_eq!(engine.sparsifier().num_edges(), before);
+        assert!(is_connected(&engine.sparsifier_graph()));
+        assert_eq!(engine.ledger().deletes(), 1);
+        assert!(engine.ledger().drift().deleted_weight_fraction() > 0.0);
+    }
+
+    #[test]
+    fn bridge_deletion_relinks_and_preserves_connectivity() {
+        // A path graph: every edge is a bridge.
+        let h0 = Graph::from_edges(
+            6,
+            &[
+                (0, 1, 2.0),
+                (1, 2, 2.0),
+                (2, 3, 2.0),
+                (3, 4, 2.0),
+                (4, 5, 2.0),
+            ],
+        )
+        .unwrap();
+        let mut engine = InGrassEngine::setup(
+            &h0,
+            &SetupConfig::default().with_drift(crate::DriftPolicy::never()),
+        )
+        .unwrap();
+        let cfg = UpdateConfig::default();
+        let r = engine
+            .apply_batch(&[UpdateOp::Delete { u: 2, v: 3 }], &cfg)
+            .unwrap();
+        assert_eq!(r.relinked, 1, "{r:?}");
+        assert_eq!(r.deleted, 0);
+        let snap = engine.sparsifier_graph();
+        assert!(is_connected(&snap));
+        // The re-link weight is capped by the deleted weight and positive.
+        let w = snap.edge_weight(2.into(), 3.into()).unwrap();
+        assert!(w > 0.0 && w <= 2.0, "relink weight {w}");
+        assert_eq!(engine.ledger().relinks(), 1);
+    }
+
+    #[test]
+    fn reweight_overwrites_in_place_and_vacuous_ops_are_counted() {
+        let (_g, h0) = sparsifier_fixture(10, 13);
+        let mut engine = InGrassEngine::setup(
+            &h0,
+            &SetupConfig::default().with_drift(crate::DriftPolicy::never()),
+        )
+        .unwrap();
+        let cfg = UpdateConfig::default();
+        let e = h0.edges()[0];
+        let (u, v) = (e.u.index(), e.v.index());
+        let r = engine
+            .apply_batch(
+                &[UpdateOp::Reweight {
+                    u,
+                    v,
+                    weight: e.weight * 0.5,
+                }],
+                &cfg,
+            )
+            .unwrap();
+        assert_eq!(r.reweighted, 1);
+        let got = engine.sparsifier().edge_weight(e.u, e.v).unwrap();
+        assert!((got - e.weight * 0.5).abs() < 1e-12);
+        assert_eq!(engine.ledger().reweights(), 1);
+
+        // A non-edge: both delete and reweight are vacuous, not errors.
+        let n = h0.num_nodes();
+        let mut non_edge = None;
+        'outer: for a in 0..n {
+            for b in (a + 1)..n {
+                if h0.edge_weight(a.into(), b.into()).is_none() {
+                    non_edge = Some((a, b));
+                    break 'outer;
+                }
+            }
+        }
+        let (a, b) = non_edge.unwrap();
+        let r = engine
+            .apply_batch(
+                &[
+                    UpdateOp::Delete { u: a, v: b },
+                    UpdateOp::Reweight {
+                        u: a,
+                        v: b,
+                        weight: 1.0,
+                    },
+                ],
+                &cfg,
+            )
+            .unwrap();
+        assert_eq!(r.vacuous, 2);
+        assert_eq!(r.total_processed(), 2);
+        assert_eq!(engine.ledger().vacuous(), 2);
+    }
+
+    #[test]
+    fn rip_up_sequence_preserves_order_within_batch() {
+        // Delete + re-insert of the same pair in ONE batch must end with the
+        // edge present (the delete may not be reordered after the insert).
+        let (_g, h0) = sparsifier_fixture(12, 14);
+        let mut engine = InGrassEngine::setup(
+            &h0,
+            &SetupConfig::default().with_drift(crate::DriftPolicy::never()),
+        )
+        .unwrap();
+        let cfg = UpdateConfig {
+            target_condition: 8.0,
+            ..Default::default()
+        };
+        let e = h0.edges()[3];
+        let (u, v) = (e.u.index(), e.v.index());
+        let before = engine.sparsifier().total_weight();
+        let r = engine
+            .apply_batch(
+                &[
+                    UpdateOp::Delete { u, v },
+                    UpdateOp::Insert { u, v, weight: 9.0 },
+                ],
+                &cfg,
+            )
+            .unwrap();
+        assert_eq!(r.total_processed(), 2);
+        assert!(r.deleted + r.relinked == 1, "{r:?}");
+        // The 9.0 landed somewhere (included on the pair, merged, or
+        // redistributed) — total weight reflects delete-then-insert.
+        let after = engine.sparsifier().total_weight();
+        let expected_delta = 9.0 - e.weight;
+        assert!(
+            (after - before - expected_delta).abs() < 1e-9 + 2.0 * e.weight,
+            "Δ={} vs expected ≈{}",
+            after - before,
+            expected_delta
+        );
+        assert!(is_connected(&engine.sparsifier_graph()));
+    }
+
+    #[test]
+    fn drift_threshold_triggers_automatic_resetup() {
+        let (_g, h0) = sparsifier_fixture(12, 15);
+        let cfg = SetupConfig::default().with_drift(crate::DriftPolicy {
+            max_deleted_weight_fraction: 0.02,
+            max_distortion_fraction: 1e9,
+            max_cluster_staleness: u32::MAX,
+            auto_resetup: true,
+        });
+        let mut engine = InGrassEngine::setup(&h0, &cfg).unwrap();
+        assert_eq!(engine.resetups(), 0);
+        let ucfg = UpdateConfig::default();
+        // Delete edges until the deleted-weight fraction crosses 2 %.
+        let mut triggered = false;
+        for e in h0.edges().iter().take(h0.num_edges() / 2) {
+            let r = engine
+                .apply_batch(
+                    &[UpdateOp::Delete {
+                        u: e.u.index(),
+                        v: e.v.index(),
+                    }],
+                    &ucfg,
+                )
+                .unwrap();
+            if let Some(reason) = r.resetup {
+                assert_eq!(reason, crate::ResetupReason::DeletedWeight);
+                // Drift reset by the re-setup.
+                assert_eq!(r.drift_deleted_weight_fraction, 0.0);
+                triggered = true;
+                break;
+            }
+        }
+        assert!(triggered, "drift never crossed the 2% threshold");
+        assert_eq!(engine.resetups(), 1);
+        assert!(is_connected(&engine.sparsifier_graph()));
+        // The engine keeps serving updates after the re-setup.
+        let r = engine.insert_batch(&[], &ucfg).unwrap();
+        assert_eq!(r.batch_size, 0);
+    }
+
+    #[test]
+    fn insert_batch_matches_apply_batch_with_insert_ops() {
+        let (g, h0) = sparsifier_fixture(12, 16);
+        let stream = InsertionStream::paper_default(&g, 5);
+        let cfg = UpdateConfig::default();
+        let mut a = InGrassEngine::setup(&h0, &SetupConfig::default()).unwrap();
+        let mut b = InGrassEngine::setup(&h0, &SetupConfig::default()).unwrap();
+        for batch in stream.batches() {
+            let ra = a.insert_batch(batch, &cfg).unwrap();
+            let ops: Vec<UpdateOp> = batch
+                .iter()
+                .map(|&(u, v, weight)| UpdateOp::Insert { u, v, weight })
+                .collect();
+            let rb = b.apply_batch(&ops, &cfg).unwrap();
+            assert_eq!(
+                (ra.included, ra.merged, ra.redistributed),
+                (rb.included, rb.merged, rb.redistributed)
+            );
+        }
+        let (ga, gb) = (a.sparsifier_graph(), b.sparsifier_graph());
+        assert_eq!(ga.num_edges(), gb.num_edges());
+        assert!((ga.total_weight() - gb.total_weight()).abs() < 1e-12);
     }
 
     #[test]

@@ -16,13 +16,21 @@
 //!      embedding of paper Fig. 2;
 //!   3. index which sparsifier edge connects every cluster pair at every
 //!      level ([`ClusterConnectivity`]).
-//! * **Update phase** ([`InGrassEngine::insert_batch`], `O(log N)` per
-//!   edge): estimate each new edge's spectral distortion `w·R̂` from the
-//!   hierarchy, process edges in decreasing distortion order, and at the
-//!   *filtering level* chosen from the target condition number either
-//!   **include** the edge, **merge** its weight onto the existing edge
-//!   between the two clusters, or **redistribute** its weight inside the
-//!   cluster (paper Fig. 3).
+//! * **Update phase** ([`InGrassEngine::apply_batch`], `O(log N)` per
+//!   insertion; deletions add an early-exit connectivity probe that is
+//!   local unless the edge was a bridge): every mutation flows through
+//!   the operation log as an
+//!   [`UpdateOp`]. Insertions follow the paper — estimate the edge's
+//!   spectral distortion `w·R̂` from the hierarchy, process in decreasing
+//!   distortion order, and at the *filtering level* chosen from the target
+//!   condition number either **include** the edge, **merge** its weight
+//!   onto the existing edge between the two clusters, or **redistribute**
+//!   its weight inside the cluster (paper Fig. 3). Deletions and reweights
+//!   (beyond the paper) update the sparsifier in place, re-link bridge
+//!   deletions, and feed the [`UpdateLedger`]'s drift tracker, which
+//!   re-runs setup automatically once the configured [`DriftPolicy`] is
+//!   crossed. [`InGrassEngine::insert_batch`] remains as the insert-only
+//!   compatibility wrapper.
 //!
 //! # Quickstart
 //!
@@ -57,13 +65,15 @@ mod config;
 mod connectivity;
 mod engine;
 mod error;
+mod ledger;
 mod lrd;
 mod report;
 
-pub use config::{ResistanceBackend, SetupConfig, UpdateConfig};
+pub use config::{DriftPolicy, ResistanceBackend, SetupConfig, UpdateConfig};
 pub use connectivity::ClusterConnectivity;
 pub use engine::InGrassEngine;
 pub use error::InGrassError;
+pub use ledger::{DriftTracker, ResetupReason, StalenessTracker, UpdateLedger, UpdateOp};
 pub use lrd::{LrdHierarchy, LrdLevel};
 pub use report::{EdgeOutcome, PhaseTimer, SetupReport, UpdateReport};
 

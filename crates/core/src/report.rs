@@ -47,7 +47,7 @@ impl PhaseTimer {
     }
 }
 
-/// What happened to one inserted edge during the update phase.
+/// What happened to one update operation during the update phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EdgeOutcome {
     /// Spectrally critical and unique: added to the sparsifier.
@@ -58,6 +58,16 @@ pub enum EdgeOutcome {
     /// Both endpoints share a cluster at the filtering level: the weight was
     /// distributed proportionally over the cluster's internal edges.
     Redistributed,
+    /// The edge was removed from the sparsifier.
+    Deleted,
+    /// The deletion hit a bridge of the sparsifier; the edge was replaced by
+    /// a re-link edge so the sparsifier stays connected.
+    Relinked,
+    /// The edge's weight was overwritten in place.
+    Reweighted,
+    /// A delete/reweight of an edge the sparsifier never carried (its weight
+    /// was filtered or merged away earlier): no physical change.
+    Vacuous,
 }
 
 /// Statistics of one [`crate::InGrassEngine::setup`] run.
@@ -79,10 +89,11 @@ pub struct SetupReport {
     pub total_time: Duration,
 }
 
-/// Statistics of one [`crate::InGrassEngine::insert_batch`] call.
+/// Statistics of one [`crate::InGrassEngine::apply_batch`] (or
+/// [`crate::InGrassEngine::insert_batch`]) call.
 #[derive(Debug, Clone)]
 pub struct UpdateReport {
-    /// Edges in the batch.
+    /// Operations in the batch.
     pub batch_size: usize,
     /// Edges added to the sparsifier.
     pub included: usize,
@@ -90,18 +101,42 @@ pub struct UpdateReport {
     pub merged: usize,
     /// Edges redistributed inside clusters.
     pub redistributed: usize,
+    /// Edges removed from the sparsifier.
+    pub deleted: usize,
+    /// Bridge deletions converted into re-link edges (counted separately
+    /// from `deleted`).
+    pub relinked: usize,
+    /// Edge weights overwritten in place.
+    pub reweighted: usize,
+    /// Deletes/reweights of edges the sparsifier never carried.
+    pub vacuous: usize,
     /// Filtering level used.
     pub filtering_level: usize,
     /// Largest estimated distortion in the batch.
     pub max_distortion: f64,
-    /// Batch wall time.
+    /// Whether this batch's drift crossed the policy and triggered an
+    /// automatic re-setup (and why).
+    pub resetup: Option<crate::ResetupReason>,
+    /// Deleted-weight fraction of the drift tracker after the batch (0 right
+    /// after a re-setup).
+    pub drift_deleted_weight_fraction: f64,
+    /// Distortion fraction of the drift tracker after the batch (0 right
+    /// after a re-setup).
+    pub drift_distortion_fraction: f64,
+    /// Batch wall time (includes the re-setup, when one triggered).
     pub elapsed: Duration,
 }
 
 impl UpdateReport {
-    /// Edges processed (must equal `batch_size`).
+    /// Operations processed (must equal `batch_size`).
     pub fn total_processed(&self) -> usize {
-        self.included + self.merged + self.redistributed
+        self.included
+            + self.merged
+            + self.redistributed
+            + self.deleted
+            + self.relinked
+            + self.reweighted
+            + self.vacuous
     }
 
     /// Fraction of the batch physically added to the sparsifier.
@@ -130,32 +165,47 @@ mod tests {
         assert!(t.total() >= a + b);
     }
 
-    #[test]
-    fn update_report_accounting() {
-        let r = UpdateReport {
-            batch_size: 10,
-            included: 4,
-            merged: 5,
-            redistributed: 1,
-            filtering_level: 3,
-            max_distortion: 2.5,
-            elapsed: Duration::from_millis(1),
-        };
-        assert_eq!(r.total_processed(), 10);
-        assert!((r.inclusion_rate() - 0.4).abs() < 1e-12);
-    }
-
-    #[test]
-    fn empty_batch_rate_is_zero() {
-        let r = UpdateReport {
+    fn empty_report() -> UpdateReport {
+        UpdateReport {
             batch_size: 0,
             included: 0,
             merged: 0,
             redistributed: 0,
+            deleted: 0,
+            relinked: 0,
+            reweighted: 0,
+            vacuous: 0,
             filtering_level: 0,
             max_distortion: 0.0,
+            resetup: None,
+            drift_deleted_weight_fraction: 0.0,
+            drift_distortion_fraction: 0.0,
             elapsed: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn update_report_accounting() {
+        let r = UpdateReport {
+            batch_size: 14,
+            included: 4,
+            merged: 5,
+            redistributed: 1,
+            deleted: 2,
+            relinked: 1,
+            reweighted: 1,
+            filtering_level: 3,
+            max_distortion: 2.5,
+            elapsed: Duration::from_millis(1),
+            ..empty_report()
         };
+        assert_eq!(r.total_processed(), 14);
+        assert!((r.inclusion_rate() - 4.0 / 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_batch_rate_is_zero() {
+        let r = empty_report();
         assert_eq!(r.inclusion_rate(), 0.0);
     }
 }

@@ -18,6 +18,9 @@
 //!   with a scale knob.
 //! * [`InsertionStream`] — seeded batches of new edges for the 10-iteration
 //!   incremental-update experiments (Tables II/III, Fig. 4).
+//! * [`ChurnStream`] — seeded fully-dynamic batches mixing insertions,
+//!   deletions, and reweights (ECO rip-up, unfollow, coarsening workloads)
+//!   with a protected spanning tree so every prefix stays connected.
 //!
 //! Every generator takes an explicit seed and is fully deterministic.
 //!
@@ -46,5 +49,5 @@ pub use delaunay::{delaunay, delaunay_points, DelaunayConfig, PointDistribution}
 pub use grid::{grid_2d, power_grid, PowerGridConfig, WeightModel};
 pub use mesh::{airfoil_mesh, ocean_mesh, sphere_mesh, AirfoilConfig, OceanConfig, SphereConfig};
 pub use social::{barabasi_albert, rmat, BaConfig, RmatConfig};
-pub use stream::{InsertionStream, StreamConfig};
+pub use stream::{ChurnConfig, ChurnOp, ChurnStream, InsertionStream, StreamConfig};
 pub use suite::{paper_suite, TestCase};

@@ -1,6 +1,7 @@
-//! Edge-insertion stream generation for the incremental experiments.
+//! Edge-insertion and mixed-churn stream generation for the incremental
+//! experiments.
 
-use ingrass_graph::{Graph, NodeId};
+use ingrass_graph::{kruskal_tree, DynGraph, Graph, NodeId, TreeObjective};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::HashSet;
@@ -156,6 +157,303 @@ impl InsertionStream {
     }
 }
 
+/// One operation of a [`ChurnStream`].
+///
+/// Mirrors the engine's `UpdateOp` (`ingrass::UpdateOp`) without depending
+/// on the core crate; the `ingrass-repro` facade provides the conversion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnOp {
+    /// Insert a new edge `{u, v}` with the given weight.
+    Insert(usize, usize, f64),
+    /// Delete the edge `{u, v}`.
+    Delete(usize, usize),
+    /// Set the weight of edge `{u, v}` to the given value.
+    Reweight(usize, usize, f64),
+}
+
+/// Configuration for [`ChurnStream::generate`].
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Number of update batches.
+    pub batches: usize,
+    /// Operations per batch.
+    pub ops_per_batch: usize,
+    /// Fraction of operations that delete a live churnable edge.
+    pub delete_fraction: f64,
+    /// Fraction of operations that reweight a live churnable edge.
+    pub reweight_fraction: f64,
+    /// Fraction of *insertions* with endpoints a short walk apart (see
+    /// [`StreamConfig::locality`]).
+    pub locality: f64,
+    /// Walk length used for local insertions.
+    pub local_hops: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            batches: 10,
+            ops_per_batch: 100,
+            delete_fraction: 0.25,
+            reweight_fraction: 0.15,
+            locality: 0.7,
+            local_hops: 3,
+            seed: 99,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// Delete share of the paper-shaped mix ([`ChurnConfig::paper_shaped`]).
+    pub const PAPER_DELETE_FRACTION: f64 = 0.25;
+    /// Reweight share of the paper-shaped mix.
+    pub const PAPER_REWEIGHT_FRACTION: f64 = 0.15;
+
+    /// The paper-shaped churn sizing shared by the perf harness and the
+    /// parity tests: ~24 % of `g`'s off-tree edge count over 10 batches
+    /// (mirroring [`InsertionStream::paper_default`]), with a quarter of
+    /// the operations deleting and 15 % reweighting, 85 % local (2-hop)
+    /// insertions.
+    pub fn paper_shaped(g: &Graph, seed: u64) -> Self {
+        let off_tree = g
+            .num_edges()
+            .saturating_sub(g.num_nodes().saturating_sub(1));
+        ChurnConfig {
+            batches: 10,
+            ops_per_batch: (((off_tree as f64) * 0.24).ceil() as usize / 10).max(1),
+            delete_fraction: Self::PAPER_DELETE_FRACTION,
+            reweight_fraction: Self::PAPER_REWEIGHT_FRACTION,
+            locality: 0.85,
+            local_hops: 2,
+            seed,
+        }
+    }
+}
+
+/// A seeded fully-dynamic stream: batches mixing edge insertions,
+/// deletions, and reweights — the churn workloads (netlist ECO with
+/// removals, social unfollows, mesh coarsening) the insert-only
+/// [`InsertionStream`] cannot express.
+///
+/// Invariants, by construction:
+///
+/// * every prefix of the stream keeps the evolving graph **connected**: a
+///   spanning tree of the base graph is protected — deletions and reweights
+///   only ever touch *churnable* edges (initial off-tree edges plus edges
+///   the stream itself inserted);
+/// * deletions and reweights reference edges that are live at that point of
+///   the stream; insertions reference pairs that are absent (a deleted pair
+///   may be re-inserted later — the ECO rip-up pattern);
+/// * the whole stream is a deterministic function of the seed.
+///
+/// # Example
+/// ```
+/// use ingrass_gen::{grid_2d, WeightModel, ChurnStream, ChurnConfig};
+/// use ingrass_graph::is_connected;
+/// let g = grid_2d(10, 10, WeightModel::Unit, 0);
+/// let stream = ChurnStream::generate(&g, &ChurnConfig {
+///     batches: 3, ops_per_batch: 20, ..Default::default()
+/// });
+/// assert_eq!(stream.batches().len(), 3);
+/// assert!(stream.deletes() > 0);
+/// // Replaying the ops on the base graph yields the (connected) final graph.
+/// let g_final = stream.apply_to(&g).unwrap();
+/// assert!(is_connected(&g_final));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChurnStream {
+    batches: Vec<Vec<ChurnOp>>,
+    inserts: usize,
+    deletes: usize,
+    reweights: usize,
+}
+
+impl ChurnStream {
+    /// Generates a churn stream for `g` under `cfg`.
+    ///
+    /// # Panics
+    /// Panics if `g` has fewer than 2 nodes, is disconnected, or the
+    /// delete/reweight fractions are invalid (negative or summing above 1).
+    pub fn generate(g: &Graph, cfg: &ChurnConfig) -> Self {
+        let n = g.num_nodes();
+        assert!(n >= 2, "churn stream needs at least two nodes");
+        assert!(
+            cfg.delete_fraction >= 0.0
+                && cfg.reweight_fraction >= 0.0
+                && cfg.delete_fraction + cfg.reweight_fraction <= 1.0,
+            "delete/reweight fractions must be non-negative and sum to ≤ 1"
+        );
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let tree = kruskal_tree(g, TreeObjective::MaxWeight).expect("base graph must be connected");
+
+        // Live pair set and the churnable (non-protected) subset.
+        let mut present: HashSet<(u32, u32)> =
+            g.edges().iter().map(|e| (e.u.raw(), e.v.raw())).collect();
+        let mut churnable: Vec<(u32, u32)> = g
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !tree.in_tree[i])
+            .map(|(_, e)| (e.u.raw(), e.v.raw()))
+            .collect();
+        let protected: HashSet<(u32, u32)> = g
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| tree.in_tree[i])
+            .map(|(_, e)| (e.u.raw(), e.v.raw()))
+            .collect();
+
+        let sample_weight = |rng: &mut StdRng| -> f64 {
+            if g.num_edges() == 0 {
+                1.0
+            } else {
+                g.edges()[rng.random_range(0..g.num_edges())].weight
+            }
+        };
+
+        let (mut inserts, mut deletes, mut reweights) = (0usize, 0usize, 0usize);
+        let mut batches = Vec::with_capacity(cfg.batches);
+        for _ in 0..cfg.batches {
+            let mut batch = Vec::with_capacity(cfg.ops_per_batch);
+            let mut guard = 0usize;
+            while batch.len() < cfg.ops_per_batch && guard < 100 * cfg.ops_per_batch + 100 {
+                guard += 1;
+                let roll = rng.random::<f64>();
+                if roll < cfg.delete_fraction {
+                    if churnable.is_empty() {
+                        continue;
+                    }
+                    let i = rng.random_range(0..churnable.len());
+                    let (u, v) = churnable.swap_remove(i);
+                    present.remove(&(u, v));
+                    batch.push(ChurnOp::Delete(u as usize, v as usize));
+                    deletes += 1;
+                } else if roll < cfg.delete_fraction + cfg.reweight_fraction {
+                    if churnable.is_empty() {
+                        continue;
+                    }
+                    let i = rng.random_range(0..churnable.len());
+                    let (u, v) = churnable[i];
+                    batch.push(ChurnOp::Reweight(
+                        u as usize,
+                        v as usize,
+                        sample_weight(&mut rng),
+                    ));
+                    reweights += 1;
+                } else {
+                    // Insertion: same locality mix as `InsertionStream`.
+                    let u = rng.random_range(0..n);
+                    let v = if rng.random::<f64>() < cfg.locality {
+                        let mut cur = NodeId::new(u);
+                        for _ in 0..cfg.local_hops {
+                            let nbrs = g.neighbors(cur);
+                            if nbrs.is_empty() {
+                                break;
+                            }
+                            cur = nbrs[rng.random_range(0..nbrs.len())].to;
+                        }
+                        cur.index()
+                    } else {
+                        rng.random_range(0..n)
+                    };
+                    if u == v {
+                        continue;
+                    }
+                    let key = if u < v {
+                        (u as u32, v as u32)
+                    } else {
+                        (v as u32, u as u32)
+                    };
+                    // Protected pairs stay whatever the base graph made
+                    // them; everything else is fair game once absent.
+                    if protected.contains(&key) || !present.insert(key) {
+                        continue;
+                    }
+                    churnable.push(key);
+                    batch.push(ChurnOp::Insert(
+                        key.0 as usize,
+                        key.1 as usize,
+                        sample_weight(&mut rng),
+                    ));
+                    inserts += 1;
+                }
+            }
+            batches.push(batch);
+        }
+        ChurnStream {
+            batches,
+            inserts,
+            deletes,
+            reweights,
+        }
+    }
+
+    /// The paper-shaped stream: [`ChurnConfig::paper_shaped`] applied to
+    /// `g` — the churn analogue of [`InsertionStream::paper_default`].
+    ///
+    /// # Panics
+    /// As for [`ChurnStream::generate`].
+    pub fn paper_default(g: &Graph, seed: u64) -> Self {
+        Self::generate(g, &ChurnConfig::paper_shaped(g, seed))
+    }
+
+    /// The generated batches.
+    pub fn batches(&self) -> &[Vec<ChurnOp>] {
+        &self.batches
+    }
+
+    /// Total operations across all batches.
+    pub fn total_ops(&self) -> usize {
+        self.batches.iter().map(|b| b.len()).sum()
+    }
+
+    /// Insert operations in the stream.
+    pub fn inserts(&self) -> usize {
+        self.inserts
+    }
+
+    /// Delete operations in the stream.
+    pub fn deletes(&self) -> usize {
+        self.deletes
+    }
+
+    /// Reweight operations in the stream.
+    pub fn reweights(&self) -> usize {
+        self.reweights
+    }
+
+    /// Replays the whole stream onto `g` and returns the final graph — the
+    /// ground truth that from-scratch baselines sparsify.
+    ///
+    /// # Errors
+    /// Returns the underlying graph error if an operation is inconsistent
+    /// with the evolving graph (cannot happen for generated streams).
+    pub fn apply_to(&self, g: &Graph) -> Result<Graph, ingrass_graph::GraphError> {
+        let mut d = DynGraph::from_graph(g);
+        for batch in &self.batches {
+            for op in batch {
+                match *op {
+                    ChurnOp::Insert(u, v, w) => {
+                        d.add_edge(u.into(), v.into(), w)?;
+                    }
+                    ChurnOp::Delete(u, v) => {
+                        d.remove_edge(u.into(), v.into());
+                    }
+                    ChurnOp::Reweight(u, v, w) => {
+                        if let Some(id) = d.edge_id(u.into(), v.into()) {
+                            d.set_weight(id, w)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(d.to_graph())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +502,109 @@ mod tests {
         let a = InsertionStream::generate(&g, &StreamConfig::default());
         let b = InsertionStream::generate(&g, &StreamConfig::default());
         assert_eq!(a.batches()[0], b.batches()[0]);
+    }
+
+    #[test]
+    fn churn_stream_ops_are_consistent_and_connected() {
+        use ingrass_graph::is_connected;
+        let g = grid_2d(12, 12, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 7);
+        let s = ChurnStream::generate(
+            &g,
+            &ChurnConfig {
+                batches: 6,
+                ops_per_batch: 40,
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.total_ops(), 240);
+        assert_eq!(s.inserts() + s.deletes() + s.reweights(), s.total_ops());
+        assert!(s.deletes() > 0 && s.reweights() > 0 && s.inserts() > 0);
+        // Replay tracks liveness: every delete/reweight hits a live edge,
+        // every insert a free pair; the graph stays connected throughout.
+        let mut d = DynGraph::from_graph(&g);
+        for batch in s.batches() {
+            for op in batch {
+                match *op {
+                    ChurnOp::Insert(u, v, w) => {
+                        assert!(
+                            d.edge_id(u.into(), v.into()).is_none(),
+                            "insert over live edge"
+                        );
+                        assert!(w > 0.0);
+                        d.add_edge(u.into(), v.into(), w).unwrap();
+                    }
+                    ChurnOp::Delete(u, v) => {
+                        assert!(
+                            d.remove_edge(u.into(), v.into()).is_some(),
+                            "delete of dead edge"
+                        );
+                    }
+                    ChurnOp::Reweight(u, v, w) => {
+                        let id = d
+                            .edge_id(u.into(), v.into())
+                            .expect("reweight of dead edge");
+                        assert!(w > 0.0);
+                        d.set_weight(id, w).unwrap();
+                    }
+                }
+            }
+            assert!(is_connected(&d.to_graph()), "prefix disconnected the graph");
+        }
+        let final_graph = s.apply_to(&g).unwrap();
+        assert_eq!(final_graph.num_edges(), d.to_graph().num_edges());
+    }
+
+    #[test]
+    fn churn_stream_is_deterministic_and_respects_mix() {
+        let g = grid_2d(14, 14, WeightModel::Unit, 3);
+        let cfg = ChurnConfig {
+            batches: 5,
+            ops_per_batch: 60,
+            delete_fraction: 0.4,
+            reweight_fraction: 0.2,
+            ..Default::default()
+        };
+        let a = ChurnStream::generate(&g, &cfg);
+        let b = ChurnStream::generate(&g, &cfg);
+        assert_eq!(a.batches()[0], b.batches()[0]);
+        assert_eq!(a.deletes(), b.deletes());
+        // The realized mix tracks the configured fractions loosely (deletes
+        // can be starved only when churnable edges run out).
+        let total = a.total_ops() as f64;
+        assert!(
+            (a.deletes() as f64 / total - 0.4).abs() < 0.15,
+            "{}",
+            a.deletes()
+        );
+        assert!((a.reweights() as f64 / total - 0.2).abs() < 0.15);
+    }
+
+    #[test]
+    fn churn_insert_only_matches_insertion_semantics() {
+        // With zero delete/reweight fractions every op is an insert of a
+        // genuinely new pair.
+        let g = grid_2d(10, 10, WeightModel::Unit, 5);
+        let s = ChurnStream::generate(
+            &g,
+            &ChurnConfig {
+                batches: 4,
+                ops_per_batch: 25,
+                delete_fraction: 0.0,
+                reweight_fraction: 0.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.deletes() + s.reweights(), 0);
+        let mut seen = HashSet::new();
+        for batch in s.batches() {
+            for op in batch {
+                let ChurnOp::Insert(u, v, _) = *op else {
+                    panic!("non-insert op in insert-only stream")
+                };
+                assert!(g.edge_weight(u.into(), v.into()).is_none());
+                assert!(seen.insert((u, v)));
+            }
+        }
     }
 
     #[test]

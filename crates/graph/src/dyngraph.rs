@@ -36,6 +36,10 @@ pub struct DynGraph {
     n: usize,
     edges: Vec<Option<Edge>>,
     adj: Vec<Vec<(u32, u32)>>, // (neighbour, edge id)
+    /// Dead entries per adjacency list; when a list is more than half dead
+    /// it is compacted, so removal stays amortized `O(1)` instead of the
+    /// eager `O(deg)` scan of both endpoints.
+    adj_dead: Vec<u32>,
     index: HashMap<(u32, u32), u32>,
     live_edges: usize,
 }
@@ -47,6 +51,7 @@ impl DynGraph {
             n,
             edges: Vec::new(),
             adj: vec![Vec::new(); n],
+            adj_dead: vec![0; n],
             index: HashMap::new(),
             live_edges: 0,
         }
@@ -205,16 +210,82 @@ impl DynGraph {
 
     /// Removes the edge `{u, v}` and returns its weight.
     ///
-    /// Future-work hook: the inGRASS update phase never deletes, but the
-    /// surrounding tooling (and eventual deletion support) needs this.
+    /// This is the deletion half of the engine's churn path (`apply_batch`
+    /// with `UpdateOp::Delete`). The edge slot becomes a permanent
+    /// tombstone (ids are never reused), but the adjacency lists are
+    /// compacted *lazily*: a removal only marks the entry dead in `O(1)`,
+    /// and a list is rebuilt once more than half of it is dead — amortized
+    /// `O(1)` per removal instead of an eager `O(deg)` scan of both
+    /// endpoints.
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Option<f64> {
         let key = Self::canonical(u, v);
         let id = self.index.remove(&key)?;
         let e = self.edges[id as usize].take()?;
-        self.adj[u.index()].retain(|&(_, i)| i != id);
-        self.adj[v.index()].retain(|&(_, i)| i != id);
         self.live_edges -= 1;
+        self.mark_dead(u.index());
+        self.mark_dead(v.index());
         Some(e.weight)
+    }
+
+    /// Records one dead adjacency entry at node `u` and compacts the list
+    /// when the dead fraction crosses one half.
+    fn mark_dead(&mut self, u: usize) {
+        self.adj_dead[u] += 1;
+        if (self.adj_dead[u] as usize) * 2 > self.adj[u].len() {
+            let edges = &self.edges;
+            self.adj[u].retain(|&(_, id)| edges[id as usize].is_some());
+            self.adj_dead[u] = 0;
+        }
+    }
+
+    /// Overwrites an existing edge's weight and returns the previous value.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidEdge`] if the id is dead/out of range or the new
+    /// weight is non-positive or non-finite.
+    pub fn set_weight(&mut self, e: EdgeId, w: f64) -> Result<f64> {
+        if w <= 0.0 || !w.is_finite() {
+            return Err(GraphError::InvalidEdge(format!(
+                "weight must be positive and finite, got {w}"
+            )));
+        }
+        let slot = self
+            .edges
+            .get_mut(e.index())
+            .and_then(|s| s.as_mut())
+            .ok_or_else(|| GraphError::InvalidEdge(format!("edge {e} does not exist")))?;
+        let old = slot.weight;
+        slot.weight = w;
+        Ok(old)
+    }
+
+    /// Whether `u` and `v` are connected by live edges (BFS).
+    ///
+    /// The engine's deletion path uses this to detect bridge removals that
+    /// would disconnect the sparsifier (and therefore need a re-link).
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of bounds.
+    pub fn are_connected(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[u.index()] = true;
+        queue.push_back(u);
+        while let Some(x) = queue.pop_front() {
+            for (y, _, _) in self.neighbors(x) {
+                if y == v {
+                    return true;
+                }
+                if !seen[y.index()] {
+                    seen[y.index()] = true;
+                    queue.push_back(y);
+                }
+            }
+        }
+        false
     }
 
     /// Snapshots into an immutable [`Graph`].
@@ -289,6 +360,87 @@ mod tests {
         let (e, created) = h.add_edge(0.into(), 1.into(), 5.0).unwrap();
         assert!(created);
         assert_eq!(e, EdgeId::new(2));
+    }
+
+    #[test]
+    fn set_weight_overwrites_and_validates() {
+        let mut h = DynGraph::new(2);
+        let (e, _) = h.add_edge(0.into(), 1.into(), 1.0).unwrap();
+        assert_eq!(h.set_weight(e, 4.0).unwrap(), 1.0);
+        assert_eq!(h.edge_weight(0.into(), 1.into()), Some(4.0));
+        assert!(h.set_weight(e, 0.0).is_err());
+        assert!(h.set_weight(e, f64::NAN).is_err());
+        assert!(h.set_weight(EdgeId::new(7), 1.0).is_err());
+        h.remove_edge(0.into(), 1.into());
+        assert!(h.set_weight(e, 1.0).is_err());
+    }
+
+    #[test]
+    fn are_connected_tracks_removals() {
+        let g =
+            Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 2, 1.0)]).unwrap();
+        let mut h = DynGraph::from_graph(&g);
+        assert!(h.are_connected(0.into(), 3.into()));
+        // {1,2} has the parallel path 1-0-2.
+        h.remove_edge(1.into(), 2.into());
+        assert!(h.are_connected(1.into(), 2.into()));
+        // {2,3} is a bridge: removing it isolates node 3.
+        h.remove_edge(2.into(), 3.into());
+        assert!(!h.are_connected(0.into(), 3.into()));
+        assert!(h.are_connected(3.into(), 3.into()));
+    }
+
+    #[test]
+    fn interleaved_add_remove_stays_consistent() {
+        // Regression test for the lazy adjacency compaction: heavy
+        // interleaved churn must keep num_edges / degrees / to_graph in
+        // agreement with a straightforward reference map.
+        let n = 12usize;
+        let mut h = DynGraph::new(n);
+        let mut reference: std::collections::BTreeMap<(usize, usize), f64> =
+            std::collections::BTreeMap::new();
+        let mut tick = 0u64;
+        for round in 0..6 {
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    tick = tick
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(round + 1);
+                    match tick % 3 {
+                        0 => {
+                            let w = 1.0 + (tick % 7) as f64;
+                            h.add_edge(u.into(), v.into(), w).unwrap();
+                            *reference.entry((u, v)).or_insert(0.0) += w;
+                        }
+                        1 => {
+                            let got = h.remove_edge(u.into(), v.into());
+                            let expect = reference.remove(&(u, v));
+                            assert_eq!(got.is_some(), expect.is_some());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            assert_eq!(h.num_edges(), reference.len(), "round {round}");
+        }
+        // Degrees agree with the reference adjacency.
+        for u in 0..n {
+            let expect = reference.keys().filter(|&&(a, b)| a == u || b == u).count();
+            assert_eq!(h.degree(u.into()), expect, "degree of {u}");
+            // Each live neighbour appears exactly once.
+            let mut nbrs: Vec<usize> = h.neighbors(u.into()).map(|(v, _, _)| v.index()).collect();
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            assert_eq!(nbrs.len(), expect, "duplicate neighbour at {u}");
+        }
+        // Snapshot round-trips every surviving edge and weight.
+        let g = h.to_graph();
+        assert_eq!(g.num_edges(), reference.len());
+        for (&(u, v), &w) in &reference {
+            let got = g.edge_weight(u.into(), v.into()).unwrap();
+            assert!((got - w).abs() < 1e-9, "({u},{v}): {got} vs {w}");
+            assert_eq!(h.edge_weight(u.into(), v.into()), Some(got));
+        }
     }
 
     #[test]

@@ -20,11 +20,13 @@ mod condition;
 mod density;
 mod distortion;
 mod error;
+mod trajectory;
 
 pub use condition::{estimate_condition_number, ConditionEstimate, ConditionOptions};
 pub use density::{DensityReport, SparsifierDensity};
 pub use distortion::{offtree_distortion_stats, DistortionStats};
 pub use error::MetricsError;
+pub use trajectory::{ConditionTrajectory, TrajectoryPoint};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, MetricsError>;

@@ -1,0 +1,139 @@
+//! Condition-number tracking across update batches and re-setups.
+
+use crate::condition::ConditionEstimate;
+
+/// One sample of a [`ConditionTrajectory`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Zero-based index of the update batch the sample follows.
+    pub batch: usize,
+    /// Condition measure `λmax(L_H⁺ L_G)` after the batch.
+    pub lambda_max: f64,
+    /// Two-sided condition number `λmax/λmin` after the batch.
+    pub kappa: f64,
+    /// Whether this batch triggered (or included) a re-setup.
+    pub resetup: bool,
+}
+
+/// Records how the sparsifier's condition number evolves over a stream of
+/// update batches, marking the batches where the engine re-ran setup.
+///
+/// Churn workloads are the reason this exists: under pure insertion the
+/// condition measure decays monotonically toward the target, but deletions
+/// and reweights push it back up until the drift policy forces a re-setup —
+/// the trajectory makes that sawtooth visible and summarizable (worst
+/// excursion, final value, number of re-setups).
+///
+/// # Example
+/// ```
+/// use ingrass_metrics::ConditionTrajectory;
+/// let mut t = ConditionTrajectory::new();
+/// t.record_values(0, 120.0, 150.0, false);
+/// t.record_values(1, 180.0, 230.0, true); // drift forced a re-setup
+/// t.record_values(2, 95.0, 110.0, false);
+/// assert_eq!(t.resetups(), 1);
+/// assert_eq!(t.max_lambda_max(), Some(180.0));
+/// assert_eq!(t.final_lambda_max(), Some(95.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConditionTrajectory {
+    points: Vec<TrajectoryPoint>,
+}
+
+impl ConditionTrajectory {
+    /// An empty trajectory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one sample from a [`ConditionEstimate`].
+    pub fn record(&mut self, batch: usize, est: &ConditionEstimate, resetup: bool) {
+        self.record_values(batch, est.lambda_max, est.kappa, resetup);
+    }
+
+    /// Appends one sample from raw values.
+    pub fn record_values(&mut self, batch: usize, lambda_max: f64, kappa: f64, resetup: bool) {
+        self.points.push(TrajectoryPoint {
+            batch,
+            lambda_max,
+            kappa,
+            resetup,
+        });
+    }
+
+    /// The recorded samples, in insertion order.
+    pub fn points(&self) -> &[TrajectoryPoint] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of batches that triggered a re-setup.
+    pub fn resetups(&self) -> usize {
+        self.points.iter().filter(|p| p.resetup).count()
+    }
+
+    /// The worst (largest) condition measure seen.
+    pub fn max_lambda_max(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|p| p.lambda_max)
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+    }
+
+    /// The last recorded condition measure.
+    pub fn final_lambda_max(&self) -> Option<f64> {
+        self.points.last().map(|p| p.lambda_max)
+    }
+
+    /// The largest condition measure recorded *between* re-setups after the
+    /// given one — i.e. the worst excursion of epoch `epoch` (0 = before the
+    /// first re-setup). `None` if the epoch has no samples.
+    pub fn epoch_max_lambda_max(&self, epoch: usize) -> Option<f64> {
+        let mut current = 0usize;
+        let mut best: Option<f64> = None;
+        for p in &self.points {
+            if current == epoch {
+                best = Some(best.map_or(p.lambda_max, |b| b.max(p.lambda_max)));
+            }
+            if p.resetup {
+                current += 1;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summaries_over_a_sawtooth() {
+        let mut t = ConditionTrajectory::new();
+        assert!(t.is_empty());
+        assert_eq!(t.max_lambda_max(), None);
+        for (i, (lm, rs)) in [(100.0, false), (160.0, true), (90.0, false), (130.0, true)]
+            .iter()
+            .enumerate()
+        {
+            t.record_values(i, *lm, lm * 1.2, *rs);
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.resetups(), 2);
+        assert_eq!(t.max_lambda_max(), Some(160.0));
+        assert_eq!(t.final_lambda_max(), Some(130.0));
+        // Epochs: [100,160], [90,130], then nothing.
+        assert_eq!(t.epoch_max_lambda_max(0), Some(160.0));
+        assert_eq!(t.epoch_max_lambda_max(1), Some(130.0));
+        assert_eq!(t.epoch_max_lambda_max(2), None);
+    }
+}

@@ -55,20 +55,56 @@ pub use ingrass_resistance as resistance;
 
 /// The names almost every downstream program needs.
 pub mod prelude {
+    pub use crate::churn_to_update_ops;
     pub use ingrass::{
-        InGrassEngine, InGrassError, LrdHierarchy, ResistanceBackend, SetupConfig, UpdateConfig,
+        DriftPolicy, InGrassEngine, InGrassError, LrdHierarchy, ResistanceBackend, SetupConfig,
+        UpdateConfig, UpdateLedger, UpdateOp,
     };
     pub use ingrass_baselines::{GrassConfig, GrassSparsifier, RandomSparsifier, TreeKind};
     pub use ingrass_gen::{
         airfoil_mesh, barabasi_albert, delaunay, grid_2d, ocean_mesh, paper_suite, power_grid,
-        rmat, sphere_mesh, AirfoilConfig, BaConfig, DelaunayConfig, InsertionStream, OceanConfig,
-        PowerGridConfig, RmatConfig, SphereConfig, StreamConfig, TestCase, WeightModel,
+        rmat, sphere_mesh, AirfoilConfig, BaConfig, ChurnConfig, ChurnOp, ChurnStream,
+        DelaunayConfig, InsertionStream, OceanConfig, PowerGridConfig, RmatConfig, SphereConfig,
+        StreamConfig, TestCase, WeightModel,
     };
     pub use ingrass_graph::{DynGraph, Edge, EdgeId, Graph, GraphBuilder, NodeId};
-    pub use ingrass_metrics::{estimate_condition_number, ConditionOptions, SparsifierDensity};
+    pub use ingrass_metrics::{
+        estimate_condition_number, ConditionOptions, ConditionTrajectory, SparsifierDensity,
+    };
     pub use ingrass_resistance::{
         ExactResistance, JlConfig, JlEmbedder, KrylovConfig, KrylovEmbedder, ResistanceEstimator,
     };
+}
+
+/// Converts generator churn operations ([`ingrass_gen::ChurnOp`]) into
+/// engine update operations ([`ingrass::UpdateOp`]).
+///
+/// The two types mirror each other on purpose: `ingrass-gen` cannot depend
+/// on the core crate (the core crate's tests consume the generators), so
+/// the facade owns the bridge.
+///
+/// # Example
+/// ```
+/// use ingrass_repro::prelude::*;
+/// let ops = churn_to_update_ops(&[
+///     ChurnOp::Insert(0, 1, 2.0),
+///     ChurnOp::Delete(0, 1),
+///     ChurnOp::Reweight(2, 3, 0.5),
+/// ]);
+/// assert_eq!(ops[1], UpdateOp::Delete { u: 0, v: 1 });
+/// ```
+pub fn churn_to_update_ops(ops: &[ingrass_gen::ChurnOp]) -> Vec<ingrass::UpdateOp> {
+    ops.iter()
+        .map(|op| match *op {
+            ingrass_gen::ChurnOp::Insert(u, v, weight) => {
+                ingrass::UpdateOp::Insert { u, v, weight }
+            }
+            ingrass_gen::ChurnOp::Delete(u, v) => ingrass::UpdateOp::Delete { u, v },
+            ingrass_gen::ChurnOp::Reweight(u, v, weight) => {
+                ingrass::UpdateOp::Reweight { u, v, weight }
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
