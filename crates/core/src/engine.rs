@@ -56,7 +56,12 @@ pub struct InGrassEngine {
     setup_cfg: SetupConfig,
     ledger: UpdateLedger,
     updates_applied: usize,
+    version: u64,
+    instance_id: u64,
 }
+
+/// Process-wide counter backing [`InGrassEngine::instance_id`].
+static ENGINE_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl InGrassEngine {
     /// Runs the one-time setup phase on the initial sparsifier `h0`.
@@ -87,6 +92,8 @@ impl InGrassEngine {
             setup_cfg: cfg.clone(),
             ledger,
             updates_applied: 0,
+            version: 0,
+            instance_id: ENGINE_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         })
     }
 
@@ -177,6 +184,7 @@ impl InGrassEngine {
         self.setup_report = built.report;
         self.ledger
             .begin_epoch(self.h.total_weight(), &self.hierarchy);
+        self.version += 1;
         Ok(&self.setup_report)
     }
 
@@ -325,6 +333,9 @@ impl InGrassEngine {
             }
         }
         self.updates_applied += ops.len();
+        if !ops.is_empty() {
+            self.version += 1;
+        }
 
         // Drift policy: the setup/update split as a policy, not a lifecycle.
         if let Some(reason) = self.ledger.should_resetup(&self.setup_cfg.drift) {
@@ -639,6 +650,58 @@ impl InGrassEngine {
     /// `ledger().resetups()`).
     pub fn resetups(&self) -> usize {
         self.ledger.resetups()
+    }
+
+    /// The engine's ledger epoch: 0 after [`InGrassEngine::setup`],
+    /// incremented by every (drift-triggered or manual) re-setup.
+    ///
+    /// Within one epoch the LRD hierarchy and connectivity index are fixed
+    /// and the sparsifier only drifts incrementally — this is the cache key
+    /// the solve subsystem (`ingrass-solve`) uses to decide whether a
+    /// cached sparsifier factorization is still a valid preconditioner.
+    pub fn epoch(&self) -> u64 {
+        self.ledger.resetups() as u64
+    }
+
+    /// A process-unique identity for this engine instance (stable across
+    /// re-setups, distinct for every [`InGrassEngine::setup`] call).
+    ///
+    /// [`InGrassEngine::epoch`] alone cannot distinguish two *different*
+    /// engines that both happen to sit at, say, epoch 0 — external caches
+    /// (notably `ingrass-solve`'s factorization cache) key on
+    /// `(instance_id, epoch)` so a freshly set-up engine never gets served
+    /// another engine's preconditioner. The value carries no meaning
+    /// beyond equality and never feeds any computation, so determinism of
+    /// results is unaffected.
+    pub fn instance_id(&self) -> u64 {
+        self.instance_id
+    }
+
+    /// Monotone state version: incremented by every non-empty
+    /// [`InGrassEngine::apply_batch`] and by every re-setup. Two equal
+    /// versions imply an identical sparsifier; finer-grained than
+    /// [`InGrassEngine::epoch`] for callers that want exact staleness
+    /// tracking rather than the epoch-level cache policy.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Builds a fresh preconditioner from the live sparsifier: a grounded
+    /// sparse Cholesky factorization of `L_H`, tagged with the current
+    /// [`InGrassEngine::epoch`].
+    ///
+    /// The factor is exact for the sparsifier, so preconditioned CG on the
+    /// *original* Laplacian `L_G` converges in `O(√κ(L_H⁻¹L_G))`
+    /// iterations — the condition number the update phase keeps bounded.
+    /// Callers should cache the result and rebuild when the epoch moves;
+    /// the `SolveService` in `ingrass-solve` automates exactly that.
+    ///
+    /// # Errors
+    /// [`InGrassError::BadSparsifier`] if the grounded Laplacian fails to
+    /// factor (disconnected or numerically degenerate sparsifier — cannot
+    /// happen while the engine's connectivity invariant holds).
+    pub fn preconditioner(&self) -> Result<crate::SparsifierPrecond> {
+        crate::SparsifierPrecond::build(&self.h, self.epoch())
     }
 }
 

@@ -67,6 +67,7 @@ mod engine;
 mod error;
 mod ledger;
 mod lrd;
+mod precond;
 mod report;
 
 pub use config::{DriftPolicy, ResistanceBackend, SetupConfig, UpdateConfig};
@@ -75,6 +76,7 @@ pub use engine::InGrassEngine;
 pub use error::InGrassError;
 pub use ledger::{DriftTracker, ResetupReason, StalenessTracker, UpdateLedger, UpdateOp};
 pub use lrd::{LrdHierarchy, LrdLevel};
+pub use precond::SparsifierPrecond;
 pub use report::{EdgeOutcome, PhaseTimer, SetupReport, UpdateReport};
 
 /// Crate-wide result alias.

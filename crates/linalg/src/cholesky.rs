@@ -1,0 +1,502 @@
+//! Sparse Cholesky factorisation with a fill-reducing ordering.
+//!
+//! The solve subsystem (`ingrass-solve`) preconditions conjugate gradients
+//! on the *original* graph Laplacian with an exact factorisation of the
+//! *sparsifier* Laplacian: the sparsifier is sparse enough that `L Lᵀ`
+//! carries little fill, and κ(L_H⁻¹ L_G) is exactly the condition number
+//! the inGRASS engine maintains, so PCG converges in `O(√κ)` iterations.
+//!
+//! Two pieces:
+//!
+//! * [`min_degree_order`] — an AMD-lite minimum-degree ordering: eliminate
+//!   the vertex of least degree, connect its neighbours into a clique,
+//!   repeat. Deterministic (ties break on the smaller node index).
+//! * [`SparseCholesky`] — up-looking sparse `L Lᵀ` factorisation over the
+//!   elimination tree, `O(|L|)` forward/backward solves, and a
+//!   [`Preconditioner`] impl so a factor can drop straight into [`crate::pcg`].
+
+use crate::cg::Preconditioner;
+use crate::error::LinalgError;
+use crate::CsrMatrix;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// AMD-lite fill-reducing ordering of a symmetric sparsity pattern.
+///
+/// Classic minimum degree: repeatedly eliminate the vertex of smallest
+/// current degree in the quotient graph (ties break on the smaller index,
+/// so the ordering is deterministic), turning its neighbourhood into a
+/// clique. No supernode detection or degree approximation — "lite" — but
+/// on the mesh/grid Laplacians this workspace factors it keeps fill within
+/// a small constant of full AMD.
+///
+/// Returns `perm` with `perm[k]` = the original index eliminated at step
+/// `k` (i.e. new-to-old).
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn min_degree_order(a: &CsrMatrix) -> Vec<usize> {
+    assert_eq!(a.n_rows(), a.n_cols(), "min_degree_order: square input");
+    let n = a.n_rows();
+    let mut adj: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+    for r in 0..n {
+        let (cols, _) = a.row(r);
+        for &c in cols {
+            if c as usize != r {
+                adj[r].insert(c);
+                adj[c as usize].insert(r as u32);
+            }
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<(usize, u32)>> =
+        (0..n).map(|v| Reverse((adj[v].len(), v as u32))).collect();
+    let mut eliminated = vec![false; n];
+    let mut perm = Vec::with_capacity(n);
+    while let Some(Reverse((deg, v))) = heap.pop() {
+        let v = v as usize;
+        // Lazy heap: skip stale entries (already eliminated or re-pushed
+        // with a different degree after a neighbour's elimination).
+        if eliminated[v] || adj[v].len() != deg {
+            continue;
+        }
+        eliminated[v] = true;
+        perm.push(v);
+        let neighbours: Vec<u32> = adj[v].iter().copied().collect();
+        // Detach v, then join its neighbourhood into a clique.
+        for &u in &neighbours {
+            adj[u as usize].remove(&(v as u32));
+        }
+        for (i, &u) in neighbours.iter().enumerate() {
+            for &w in &neighbours[i + 1..] {
+                adj[u as usize].insert(w);
+                adj[w as usize].insert(u);
+            }
+        }
+        for &u in &neighbours {
+            heap.push(Reverse((adj[u as usize].len(), u)));
+        }
+    }
+    perm
+}
+
+/// Sparse Cholesky factorisation `P A Pᵀ = L Lᵀ` of a symmetric positive
+/// definite matrix.
+///
+/// Up-looking factorisation over the elimination tree (the CSparse
+/// `cs_chol` scheme): for each row the nonzero pattern is the tree reach of
+/// the row's entries, and the numeric step is one sparse triangular solve.
+/// The permutation defaults to [`min_degree_order`]; pass a custom one via
+/// [`SparseCholesky::factor_with_order`].
+///
+/// The factor implements [`Preconditioner`], so it can precondition
+/// [`crate::pcg`] directly — this is how the solve service applies the
+/// sparsifier factor to the original Laplacian.
+///
+/// # Example
+/// ```
+/// use ingrass_linalg::{CsrMatrix, SparseCholesky};
+/// // SPD: [[4, 1], [1, 3]].
+/// let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)]);
+/// let f = SparseCholesky::factor(&a).unwrap();
+/// let x = f.solve(&[1.0, 2.0]);
+/// let r = a.matvec_alloc(&x);
+/// assert!((r[0] - 1.0).abs() < 1e-12 && (r[1] - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseCholesky {
+    n: usize,
+    /// `perm[k]` = original index of the k-th pivot (new-to-old).
+    perm: Vec<u32>,
+    /// Column pointers of `L` (column-major, diagonal entry first per
+    /// column, off-diagonal rows strictly ascending after it).
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseCholesky {
+    /// Factors `a` with the default [`min_degree_order`] ordering.
+    ///
+    /// # Errors
+    /// [`LinalgError::NotSpd`] if a pivot is non-positive;
+    /// [`LinalgError::InvalidArgument`] if `a` is not square.
+    pub fn factor(a: &CsrMatrix) -> Result<Self, LinalgError> {
+        if a.n_rows() != a.n_cols() {
+            return Err(LinalgError::InvalidArgument(format!(
+                "cholesky needs a square matrix, got {}x{}",
+                a.n_rows(),
+                a.n_cols()
+            )));
+        }
+        let perm = min_degree_order(a);
+        Self::factor_with_order(a, &perm)
+    }
+
+    /// Factors `a` with an explicit elimination order (`perm[k]` = original
+    /// index of the k-th pivot; must be a permutation of `0..n`).
+    ///
+    /// # Errors
+    /// [`LinalgError::NotSpd`] on a non-positive pivot;
+    /// [`LinalgError::InvalidArgument`] on a malformed permutation or a
+    /// non-square input.
+    pub fn factor_with_order(a: &CsrMatrix, perm: &[usize]) -> Result<Self, LinalgError> {
+        let n = a.n_rows();
+        if a.n_cols() != n {
+            return Err(LinalgError::InvalidArgument(format!(
+                "cholesky needs a square matrix, got {}x{}",
+                n,
+                a.n_cols()
+            )));
+        }
+        if perm.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: perm.len(),
+            });
+        }
+        let mut iperm = vec![u32::MAX; n];
+        for (k, &old) in perm.iter().enumerate() {
+            if old >= n || iperm[old] != u32::MAX {
+                return Err(LinalgError::InvalidArgument(
+                    "ordering is not a permutation".into(),
+                ));
+            }
+            iperm[old] = k as u32;
+        }
+
+        // Upper triangle of the permuted matrix in CSC form: column k holds
+        // the rows i ≤ k of P A Pᵀ (i.e. row k of the lower part — what the
+        // up-looking step consumes). Symmetric input stores each off-diagonal
+        // twice; exactly one orientation lands in the upper triangle.
+        let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for r in 0..n {
+            let (cidx, vals) = a.row(r);
+            let pr = iperm[r];
+            for (&c, &v) in cidx.iter().zip(vals) {
+                let pc = iperm[c as usize];
+                if pr <= pc {
+                    cols[pc as usize].push((pr, v));
+                }
+            }
+        }
+        for col in &mut cols {
+            col.sort_unstable_by_key(|&(r, _)| r);
+        }
+
+        // Elimination tree of the permuted pattern (Liu's algorithm with
+        // path compression through `ancestor`).
+        const NONE: u32 = u32::MAX;
+        let mut parent = vec![NONE; n];
+        let mut ancestor = vec![NONE; n];
+        for k in 0..n {
+            for &(i, _) in &cols[k] {
+                let mut j = i;
+                while j != NONE && (j as usize) < k {
+                    let next = ancestor[j as usize];
+                    ancestor[j as usize] = k as u32;
+                    if next == NONE {
+                        parent[j as usize] = k as u32;
+                        break;
+                    }
+                    j = next;
+                }
+            }
+        }
+
+        // Up-looking numeric factorisation. Columns of L grow as later rows
+        // append their entries; each column starts with its diagonal.
+        let mut l_cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        let mut x = vec![0.0; n];
+        let mut mark = vec![usize::MAX; n];
+        let mut reach: Vec<u32> = Vec::with_capacity(n);
+        let mut path: Vec<u32> = Vec::with_capacity(64);
+        for k in 0..n {
+            // Pattern of row k of L = the etree reach of column k's rows,
+            // collected per leaf in root→leaf order and reversed below.
+            reach.clear();
+            mark[k] = k;
+            let mut d = 0.0;
+            for &(i, v) in &cols[k] {
+                if i as usize == k {
+                    d = v;
+                    continue;
+                }
+                x[i as usize] = v;
+                path.clear();
+                let mut j = i;
+                while mark[j as usize] != k {
+                    path.push(j);
+                    mark[j as usize] = k;
+                    j = parent[j as usize];
+                }
+                // Reverse the leaf-to-ancestor path so `reach` stays in
+                // ascending (topological) elimination order per segment.
+                reach.extend(path.drain(..).rev());
+            }
+            reach.sort_unstable();
+
+            for &j in reach.iter() {
+                let j = j as usize;
+                let col = &l_cols[j];
+                let ljj = col[0].1;
+                let lkj = x[j] / ljj;
+                x[j] = 0.0;
+                for &(i, lij) in &col[1..] {
+                    x[i as usize] -= lij * lkj;
+                }
+                d -= lkj * lkj;
+                l_cols[j].push((k as u32, lkj));
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotSpd { pivot: k });
+            }
+            l_cols[k].push((k as u32, d.sqrt()));
+        }
+
+        // Flatten the per-column vectors into CSC arrays.
+        let nnz: usize = l_cols.iter().map(Vec::len).sum();
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut row_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        col_ptr.push(0);
+        for col in &l_cols {
+            for &(i, v) in col {
+                row_idx.push(i);
+                values.push(v);
+            }
+            col_ptr.push(row_idx.len());
+        }
+        Ok(SparseCholesky {
+            n,
+            perm: perm.iter().map(|&p| p as u32).collect(),
+            col_ptr,
+            row_idx,
+            values,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Stored entries of `L` (a fill measure; `≥ nnz(tril(A))` always).
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// The elimination order used (`perm[k]` = original index of pivot `k`).
+    pub fn ordering(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// Solves `A x = b` into `x` via `P A Pᵀ = L Lᵀ`.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` or `x.len()` differ from [`SparseCholesky::dim`].
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(b.len(), n, "cholesky solve: b dimension");
+        assert_eq!(x.len(), n, "cholesky solve: x dimension");
+        let mut y = vec![0.0; n];
+        for k in 0..n {
+            y[k] = b[self.perm[k] as usize];
+        }
+        self.solve_permuted_in_place(&mut y);
+        for k in 0..n {
+            x[self.perm[k] as usize] = y[k];
+        }
+    }
+
+    /// Solves `L Lᵀ y = ŷ` **in the permuted basis**, in place and with no
+    /// allocation: on entry `y[k]` is the right-hand side of pivot `k`
+    /// (i.e. `b[perm[k]]`), on exit it is the solution in the same basis.
+    ///
+    /// This is the zero-allocation core [`SparseCholesky::solve_into`]
+    /// wraps; callers that already hold permuted data (hot preconditioner
+    /// paths — see `SparsifierPrecond` in the core crate) use it directly.
+    ///
+    /// # Panics
+    /// Panics if `y.len()` differs from [`SparseCholesky::dim`].
+    pub fn solve_permuted_in_place(&self, y: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(y.len(), n, "cholesky solve: y dimension");
+        // Forward solve L y = P b (column-oriented).
+        for j in 0..n {
+            let (lo, hi) = (self.col_ptr[j], self.col_ptr[j + 1]);
+            let yj = y[j] / self.values[lo];
+            y[j] = yj;
+            for p in lo + 1..hi {
+                y[self.row_idx[p] as usize] -= self.values[p] * yj;
+            }
+        }
+        // Backward solve Lᵀ z = y (columns of L are rows of Lᵀ).
+        for j in (0..n).rev() {
+            let (lo, hi) = (self.col_ptr[j], self.col_ptr[j + 1]);
+            let mut acc = y[j];
+            for p in lo + 1..hi {
+                acc -= self.values[p] * y[self.row_idx[p] as usize];
+            }
+            y[j] = acc / self.values[lo];
+        }
+    }
+
+    /// Allocating variant of [`SparseCholesky::solve_into`].
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        self.solve_into(b, &mut x);
+        x
+    }
+}
+
+impl Preconditioner for SparseCholesky {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        self.solve_into(r, z);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+    use proptest::prelude::*;
+
+    fn grounded_laplacian_grid(side: usize) -> CsrMatrix {
+        // 2D grid Laplacian with the last node grounded (removed): SPD.
+        let n = side * side;
+        let idx = |r: usize, c: usize| r * side + c;
+        let mut t = Vec::new();
+        let mut push = |u: usize, v: usize, w: f64| {
+            if u < n - 1 && v < n - 1 {
+                t.push((u, v, -w));
+                t.push((v, u, -w));
+            }
+            if u < n - 1 {
+                t.push((u, u, w));
+            }
+            if v < n - 1 {
+                t.push((v, v, w));
+            }
+        };
+        for r in 0..side {
+            for c in 0..side {
+                if c + 1 < side {
+                    push(idx(r, c), idx(r, c + 1), 1.0 + ((r + c) % 3) as f64);
+                }
+                if r + 1 < side {
+                    push(idx(r, c), idx(r + 1, c), 1.0 + ((r * c) % 2) as f64);
+                }
+            }
+        }
+        CsrMatrix::from_triplets(n - 1, n - 1, &t)
+    }
+
+    #[test]
+    fn min_degree_is_a_permutation() {
+        let a = grounded_laplacian_grid(5);
+        let p = min_degree_order(&a);
+        let mut seen = vec![false; a.n_rows()];
+        for &v in &p {
+            assert!(!seen[v]);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn min_degree_reduces_fill_on_grids() {
+        let a = grounded_laplacian_grid(8);
+        let natural: Vec<usize> = (0..a.n_rows()).collect();
+        let f_nat = SparseCholesky::factor_with_order(&a, &natural).unwrap();
+        let f_amd = SparseCholesky::factor(&a).unwrap();
+        assert!(
+            f_amd.nnz() <= f_nat.nnz(),
+            "amd {} vs natural {}",
+            f_amd.nnz(),
+            f_nat.nnz()
+        );
+    }
+
+    #[test]
+    fn factor_solve_matches_dense() {
+        let a = grounded_laplacian_grid(6);
+        let f = SparseCholesky::factor(&a).unwrap();
+        let n = a.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 11) as f64) - 5.0).collect();
+        let x = f.solve(&b);
+        let exact = DenseMatrix::from_csr(&a).solve_spd(&b).unwrap();
+        for i in 0..n {
+            assert!(
+                (x[i] - exact[i]).abs() < 1e-9,
+                "i={i}: {} vs {}",
+                x[i],
+                exact[i]
+            );
+        }
+    }
+
+    #[test]
+    fn factorization_detects_indefinite_matrix() {
+        let a =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 1.0)]);
+        assert!(matches!(
+            SparseCholesky::factor(&a),
+            Err(LinalgError::NotSpd { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_bad_permutation() {
+        let rect = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]);
+        assert!(SparseCholesky::factor(&rect).is_err());
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 2.0)]);
+        assert!(SparseCholesky::factor_with_order(&a, &[0, 0]).is_err());
+        assert!(SparseCholesky::factor_with_order(&a, &[0]).is_err());
+    }
+
+    #[test]
+    fn preconditioner_impl_is_exact_inverse() {
+        let a = grounded_laplacian_grid(4);
+        let f = SparseCholesky::factor(&a).unwrap();
+        let n = a.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let mut z = vec![0.0; n];
+        Preconditioner::apply(&f, &b, &mut z);
+        let back = a.matvec_alloc(&z);
+        for i in 0..n {
+            assert!((back[i] - b[i]).abs() < 1e-9);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_factor_solve_inverts_spd(
+            raw in proptest::collection::vec(-1.0f64..1.0, 36),
+            b in proptest::collection::vec(-2.0f64..2.0, 6),
+        ) {
+            // SPD A = MᵀM + I.
+            let m = DenseMatrix::from_rows(6, 6, &raw);
+            let mut trip = Vec::new();
+            for i in 0..6 {
+                for j in 0..6 {
+                    let mut acc = if i == j { 1.0 } else { 0.0 };
+                    for k in 0..6 {
+                        acc += m.get(k, i) * m.get(k, j);
+                    }
+                    trip.push((i, j, acc));
+                }
+            }
+            let a = CsrMatrix::from_triplets(6, 6, &trip);
+            let f = SparseCholesky::factor(&a).unwrap();
+            let x = f.solve(&b);
+            let r = a.matvec_alloc(&x);
+            for i in 0..6 {
+                prop_assert!((r[i] - b[i]).abs() < 1e-8);
+            }
+        }
+    }
+}

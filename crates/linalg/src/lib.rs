@@ -11,6 +11,10 @@
 //! * [`pcg`] — preconditioned conjugate gradients with pluggable
 //!   [`Preconditioner`]s (identity, Jacobi; the spanning-tree preconditioner
 //!   lives in `ingrass-graph` because it needs a tree).
+//! * [`SparseCholesky`] / [`min_degree_order`] — sparse `L Lᵀ` factorisation
+//!   with an AMD-lite fill-reducing ordering; a factor is itself a
+//!   [`Preconditioner`], which is how `ingrass-solve` turns the sparsifier
+//!   into a preconditioner for solves on the original graph.
 //! * [`lanczos_extreme`] / [`generalized_lanczos`] — symmetric Lanczos for
 //!   extreme eigenvalues of an operator or of a matrix pencil `(A, B)`; the
 //!   pencil variant powers the relative condition number estimator
@@ -41,6 +45,7 @@
 #![deny(missing_docs)]
 
 mod cg;
+mod cholesky;
 mod csr;
 mod dense;
 mod error;
@@ -49,6 +54,7 @@ mod op;
 pub mod vector;
 
 pub use cg::{pcg, pcg_multi, CgOptions, CgResult, IdentityPrecond, JacobiPrecond, Preconditioner};
+pub use cholesky::{min_degree_order, SparseCholesky};
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::LinalgError;

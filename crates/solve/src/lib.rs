@@ -1,0 +1,62 @@
+//! Sparsifier-preconditioned Laplacian solves — where the sparsifier pays
+//! rent.
+//!
+//! The inGRASS engine maintains a sparsifier `H` with a bounded relative
+//! condition number `κ(L_G, L_H)` against the evolving original graph `G`.
+//! This crate closes the loop: it extracts a preconditioner from the live
+//! sparsifier (a grounded sparse Cholesky factorization of `L_H`, with
+//! Jacobi/spanning-tree fallbacks for huge cases), serves **batched
+//! multi-RHS PCG solves on the original Laplacian** through
+//! [`SolveService::solve_batch`], and caches the factorization keyed by the
+//! engine's ledger epoch — reused across update batches, invalidated
+//! automatically when a drift-triggered re-setup starts a new epoch.
+//!
+//! Since the factor is exact for `L_H`, preconditioned CG on `L_G`
+//! converges in `O(√κ(L_H⁻¹L_G))` iterations — the very quantity the
+//! incremental update phase keeps small — instead of the `O(√κ(L_G))` of
+//! plain CG.
+//!
+//! # Example
+//!
+//! ```
+//! use ingrass::{InGrassEngine, SetupConfig, UpdateConfig};
+//! use ingrass_solve::{SolveConfig, SolveService};
+//! use ingrass_baselines::GrassSparsifier;
+//! use ingrass_gen::{grid_2d, WeightModel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = grid_2d(12, 12, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 7);
+//! let h0 = GrassSparsifier::default().by_offtree_density(&g, 0.10)?;
+//! let mut engine = InGrassEngine::setup(&h0.graph, &SetupConfig::default())?;
+//!
+//! let mut service = SolveService::new(SolveConfig::default());
+//! let l_g = g.laplacian();
+//! let mut b = vec![0.0; g.num_nodes()];
+//! b[0] = 1.0;
+//! b[143] = -1.0;
+//!
+//! // Cold solve: factors the sparsifier, then runs PCG on L_G.
+//! let (x, report) = service.solve(&engine, &l_g, &b)?;
+//! assert!(report.refactorized);
+//! assert!(report.results[0].converged);
+//! assert!((x[0] - x[143]) > 0.0); // positive effective resistance
+//!
+//! // Warm solve: same epoch → the cached factor is reused.
+//! let (_, report) = service.solve(&engine, &l_g, &b)?;
+//! assert!(!report.refactorized);
+//! assert_eq!(service.stats().factorizations, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod service;
+
+pub use service::{
+    unpreconditioned_cg, PrecondKind, PrecondStrategy, SolveConfig, SolveError, SolveReport,
+    SolveService, SolveStats,
+};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SolveError>;

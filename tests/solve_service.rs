@@ -1,0 +1,141 @@
+//! Acceptance suite for the solve subsystem on the small-scale bench
+//! cases: sparsifier-preconditioned PCG on the original Laplacian must
+//! converge in at most 1/3 the iterations of unpreconditioned CG, and a
+//! warm (cached-factorization) solve after a non-re-setup update batch
+//! must skip refactorization. Mirrors the `solve/<case>` scenarios the
+//! perf harness records in `BENCH_2.json`.
+
+use ingrass_repro::linalg::CsrMatrix;
+use ingrass_repro::prelude::*;
+use ingrass_repro::solve::unpreconditioned_cg;
+use ingrass_repro::test_seed;
+
+/// The perf harness's case axis at its `small` fraction, with the
+/// solve-grade sparsifier density the `solve/<case>` scenarios use.
+const SCALE: f64 = 0.05;
+const SOLVE_DENSITY: f64 = 0.30;
+
+fn solve_fixture(case: TestCase, seed: u64) -> (Graph, CsrMatrix, InGrassEngine) {
+    let g = case.build(SCALE, seed);
+    let h0 = GrassSparsifier::default()
+        .by_offtree_density(&g, SOLVE_DENSITY)
+        .expect("solve-grade sparsifier")
+        .graph;
+    let engine = InGrassEngine::setup(&h0, &SetupConfig::default().with_seed(seed)).expect("setup");
+    let l_g = g.laplacian();
+    (g, l_g, engine)
+}
+
+fn pair_rhs(n: usize, u: usize, v: usize) -> Vec<f64> {
+    let mut b = vec![0.0; n];
+    b[u] = 1.0;
+    b[v] = -1.0;
+    b
+}
+
+#[test]
+fn preconditioned_pcg_needs_at_most_a_third_of_cg_iterations() {
+    let seed = test_seed();
+    for case in [
+        TestCase::Fe4elt2,
+        TestCase::FeSphere,
+        TestCase::G2Circuit,
+        TestCase::DelaunayN18,
+    ] {
+        let (g, l_g, engine) = solve_fixture(case, seed);
+        let n = g.num_nodes();
+        let rhss = vec![pair_rhs(n, n / 7, n - 3), pair_rhs(n, 1, n / 2)];
+        let mut svc = SolveService::new(SolveConfig::default());
+        let (_, report) = svc.solve_batch(&engine, &l_g, &rhss).expect("pcg batch");
+        assert!(
+            report.all_converged(),
+            "{}: {:?}",
+            case.name(),
+            report.results
+        );
+        for (b, pcg_res) in rhss.iter().zip(&report.results) {
+            let (_, cg) = unpreconditioned_cg(&l_g, b, &SolveConfig::default().cg);
+            assert!(cg.converged, "{}: plain CG failed", case.name());
+            assert!(
+                pcg_res.iterations * 3 <= cg.iterations,
+                "{}: pcg {} iterations vs cg {} — ratio below 3x",
+                case.name(),
+                pcg_res.iterations,
+                cg.iterations
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_solve_after_update_batch_skips_refactorization() {
+    let seed = test_seed();
+    // One representative case is enough for the cache lifecycle (the ratio
+    // test above already walks the whole axis); fe_4elt2 is the smallest.
+    let case = TestCase::Fe4elt2;
+    let (g, l_g, mut engine) = solve_fixture(case, seed);
+    let n = g.num_nodes();
+    let mut svc = SolveService::new(SolveConfig::default());
+
+    let (_, cold) = svc
+        .solve(&engine, &l_g, &pair_rhs(n, 0, n - 1))
+        .expect("cold");
+    assert!(cold.refactorized);
+    assert!(cold.factor_seconds > 0.0);
+    assert_eq!(svc.stats().factorizations, 1);
+
+    // A paper-shaped insertion batch: drift stays below the default policy
+    // (insertions add no deleted-weight/distortion drift), so the epoch —
+    // and therefore the cached factorization — must survive.
+    let stream = InsertionStream::paper_default(&g, seed ^ 0x57ea);
+    let report = engine
+        .insert_batch(&stream.batches()[0], &UpdateConfig::default())
+        .expect("update batch");
+    assert!(
+        report.resetup.is_none(),
+        "insert batch unexpectedly re-setup"
+    );
+
+    let (_, warm) = svc
+        .solve(&engine, &l_g, &pair_rhs(n, 0, n - 1))
+        .expect("warm");
+    assert!(!warm.refactorized, "warm solve refactorized");
+    assert_eq!(warm.factor_seconds, 0.0);
+    assert!(warm.all_converged());
+    assert_eq!(svc.stats().factorizations, 1);
+    assert_eq!(svc.stats().cache_hits, 1);
+
+    // A drift-triggered re-setup invalidates: force drift with deletions
+    // until the policy fires, then the next solve must rebuild.
+    let ucfg = UpdateConfig::default();
+    let h_now = engine.sparsifier_graph();
+    let mut resetup_seen = false;
+    for e in h_now.edges().iter().take(h_now.num_edges() / 2) {
+        let r = engine
+            .apply_batch(
+                &[UpdateOp::Delete {
+                    u: e.u.index(),
+                    v: e.v.index(),
+                }],
+                &ucfg,
+            )
+            .expect("delete");
+        if r.resetup.is_some() {
+            resetup_seen = true;
+            break;
+        }
+    }
+    assert!(
+        resetup_seen,
+        "deletion churn never crossed the drift policy"
+    );
+    let (_, rebuilt) = svc
+        .solve(&engine, &l_g, &pair_rhs(n, 0, n - 1))
+        .expect("rebuilt");
+    assert!(
+        rebuilt.refactorized,
+        "re-setup did not invalidate the cache"
+    );
+    assert_eq!(rebuilt.epoch, engine.epoch());
+    assert_eq!(svc.stats().factorizations, 2);
+}
