@@ -34,22 +34,30 @@
 //! the churn ratios, plus one `<case>/solve` scenario per case measuring
 //! the sparsifier-preconditioned solve service (factorization wall time,
 //! cold vs warm batched PCG, iteration counts against unpreconditioned
-//! CG). Baselines without churn/solve scenarios still gate cleanly — the
-//! gate only compares scenario ids present in the baseline.
+//! CG), plus one `serve/<case>` scenario per case measuring the
+//! concurrent serving layer (snapshot publish latency per state-changing
+//! batch, admission-batched drain wall time, mixed update+solve
+//! throughput). Baselines without churn/solve/serve scenarios still gate
+//! cleanly — the gate only compares scenario ids present in the baseline.
 
-use ingrass::{InGrassEngine, PhaseTimer, ResistanceBackend, SetupConfig, UpdateConfig, UpdateOp};
+use ingrass::{
+    InGrassEngine, PhaseTimer, ResistanceBackend, SetupConfig, SnapshotEngine, UpdateConfig,
+    UpdateOp,
+};
 use ingrass_baselines::GrassSparsifier;
 use ingrass_bench::fmt_secs;
 use ingrass_bench::json::{obj, scenario_metrics, Json};
 use ingrass_gen::{ChurnConfig, ChurnOp, ChurnStream, InsertionStream, TestCase};
 use ingrass_graph::{DynGraph, Graph};
 use ingrass_metrics::{
-    estimate_condition_number, ConditionOptions, ConditionTrajectory, SparsifierDensity,
+    estimate_condition_number, ConditionOptions, ConditionTrajectory, LatencySummary,
+    SparsifierDensity,
 };
 use ingrass_resistance::{JlConfig, KrylovConfig};
-use ingrass_solve::{unpreconditioned_cg, SolveConfig, SolveService};
+use ingrass_solve::{unpreconditioned_cg, ConcurrentSolveService, SolveConfig, SolveService};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Bumped whenever a field changes meaning; readers must check it.
 /// Additions (the churn scenarios, `update_mix`) are backward-compatible
@@ -271,23 +279,7 @@ fn run_churn_scenario(case: TestCase, fixture: &CaseFixture, args: &Args) -> Jso
     let mut g_now = DynGraph::from_graph(&fixture.g0);
     for (i, batch) in fixture.churn.batches().iter().enumerate() {
         let ops = to_update_ops(batch);
-        for op in &ops {
-            match *op {
-                UpdateOp::Insert { u, v, weight } => {
-                    g_now
-                        .add_edge(u.into(), v.into(), weight)
-                        .expect("churn stream is consistent");
-                }
-                UpdateOp::Delete { u, v } => {
-                    g_now.remove_edge(u.into(), v.into());
-                }
-                UpdateOp::Reweight { u, v, weight } => {
-                    if let Some(id) = g_now.edge_id(u.into(), v.into()) {
-                        g_now.set_weight(id, weight).expect("valid reweight");
-                    }
-                }
-            }
-        }
+        ingrass::replay_ops(&mut g_now, &ops).expect("churn stream is consistent");
         timer.lap();
         let report = engine.apply_batch(&ops, &ucfg).expect("churn update");
         wall += timer.lap();
@@ -485,6 +477,119 @@ fn run_solve_scenario(case: TestCase, fixture: &CaseFixture, args: &Args) -> Jso
     ])
 }
 
+/// Right-hand sides per churn batch in the serve scenario.
+const SERVE_RHS_PER_BATCH: usize = 2;
+
+/// Runs the serve scenario of one case: the concurrent serving layer's
+/// mixed update+solve loop, single-threaded and deterministic so the wall
+/// times gate. A `SnapshotEngine` (solve-grade sparsifier, as in the solve
+/// scenario) replays the paper-shaped churn stream; every state-changing
+/// batch publishes an immutable snapshot (publish latency recorded), and
+/// between batches a `ConcurrentSolveService` admission-batches seeded
+/// terminal-pair requests against the current snapshot and drains them —
+/// PCG on the *current* original Laplacian preconditioned by the
+/// snapshot's factor.
+fn run_serve_scenario(case: TestCase, fixture: &CaseFixture, args: &Args) -> Json {
+    let setup_cfg = SetupConfig::default()
+        .with_seed(args.seed)
+        .with_resistance(backend_config("krylov", args.threads));
+    let h_solve = GrassSparsifier::default()
+        .by_offtree_density(&fixture.g0, SOLVE_DENSITY)
+        .expect("serve-grade sparsification")
+        .graph;
+    let mut engine = SnapshotEngine::setup(&h_solve, &setup_cfg).expect("serve setup");
+    let service = ConcurrentSolveService::new(SolveConfig::default());
+    let n = fixture.g0.num_nodes();
+    let ucfg = UpdateConfig::default();
+
+    let mut g_live = DynGraph::from_graph(&fixture.g0);
+    let mut publish = LatencySummary::new();
+    let mut drains = LatencySummary::new();
+    let mut update_wall = std::time::Duration::ZERO;
+    let mut churn_ops = 0usize;
+    let mut solves = 0usize;
+    let mut pcg_iters = 0usize;
+    let mut all_converged = true;
+    let mut timer = PhaseTimer::start();
+    for (i, batch) in fixture.churn.batches().iter().enumerate() {
+        let ops = to_update_ops(batch);
+        ingrass::replay_ops(&mut g_live, &ops).expect("churn stream is consistent");
+        churn_ops += ops.len();
+
+        // Writer side: apply + publish (publish latency tracked per batch).
+        timer.lap();
+        let report = engine.apply_batch(&ops, &ucfg).expect("serve update");
+        update_wall += timer.lap();
+        if let Some(p) = report.publish {
+            publish.record(p.publish_seconds);
+        }
+
+        // Reader side: admission-batch requests against the snapshot just
+        // published, paired with the current original Laplacian, and drain.
+        let lap = Arc::new(g_live.to_graph().laplacian());
+        let snap = engine.snapshot();
+        for k in 0..SERVE_RHS_PER_BATCH {
+            let stream = (i * SERVE_RHS_PER_BATCH + k) as u64;
+            let u = (ingrass_par::derive_seed(args.seed ^ 0x5e21, 2 * stream) % n as u64) as usize;
+            let mut v =
+                (ingrass_par::derive_seed(args.seed ^ 0x5e21, 2 * stream + 1) % n as u64) as usize;
+            if v == u {
+                v = (v + 1) % n;
+            }
+            let mut b = vec![0.0; n];
+            b[u] = 1.0;
+            b[v] = -1.0;
+            service.submit(&snap, &lap, b).expect("serve submit");
+        }
+        let round = service.drain();
+        drains.record(round.solve_seconds);
+        solves += round.served.len();
+        pcg_iters += round.total_iterations();
+        all_converged &= round.all_converged();
+    }
+
+    let wall = update_wall.as_secs_f64() + drains.total_seconds();
+    let throughput = if wall > 0.0 {
+        (churn_ops + solves) as f64 / wall
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "{:<14} serve   update {:>10} publish {:>10} (max {:>10}) solve {:>10}  {} solves, {:.0} op/s",
+        case.name(),
+        fmt_secs(update_wall.as_secs_f64()),
+        fmt_secs(publish.total_seconds()),
+        fmt_secs(publish.max_seconds()),
+        fmt_secs(drains.total_seconds()),
+        solves,
+        throughput,
+    );
+
+    obj(vec![
+        ("id", Json::Str(format!("serve/{}", case.name()))),
+        ("case", Json::Str(case.name().to_string())),
+        ("backend", Json::Str("krylov".to_string())),
+        ("kind", Json::Str("serve".to_string())),
+        ("nodes", Json::Num(n as f64)),
+        ("edges", Json::Num(fixture.g0.num_edges() as f64)),
+        ("sparsifier_offtree_density", Json::Num(SOLVE_DENSITY)),
+        ("churn_ops", Json::Num(churn_ops as f64)),
+        ("serve_update_wall_s", Json::Num(update_wall.as_secs_f64())),
+        ("publish_count", Json::Num(publish.count() as f64)),
+        ("publish_wall_s", Json::Num(publish.total_seconds())),
+        ("publish_mean_s", Json::Num(publish.mean_seconds())),
+        ("publish_max_s", Json::Num(publish.max_seconds())),
+        ("serve_solves", Json::Num(solves as f64)),
+        ("serve_solve_wall_s", Json::Num(drains.total_seconds())),
+        ("serve_drain_max_s", Json::Num(drains.max_seconds())),
+        ("serve_pcg_iters_total", Json::Num(pcg_iters as f64)),
+        ("serve_all_converged", Json::Bool(all_converged)),
+        ("serve_throughput_ops_per_s", Json::Num(throughput)),
+        ("snapshots_published", Json::Num(engine.publishes() as f64)),
+        ("resetups", Json::Num(engine.engine().resetups() as f64)),
+    ])
+}
+
 /// Runs one (case, backend) scenario: inGRASS setup (timed, with the
 /// engine's own phase breakdown) → the paper's 10-batch insertion stream
 /// (timed) → final condition number and off-tree density against the
@@ -601,12 +706,18 @@ fn regressions(current: &Json, baseline: &Json, tolerance: f64) -> Vec<String> {
     // Wall-clock gates only: quality metrics (condition, density) are
     // seed-deterministic and belong to correctness tests, not a perf gate.
     // The solve keys gate once a regenerated baseline carries `<case>/solve`
-    // scenarios (solve latency is a tracked metric, not best-effort).
-    const GATED: [&str; 4] = [
+    // scenarios (solve latency is a tracked metric, not best-effort), and
+    // likewise the serving keys once a baseline carries `serve/<case>`
+    // scenarios (snapshot publish latency and drain throughput are the
+    // serving layer's tracked metrics).
+    const GATED: [&str; 7] = [
         "setup_wall_s",
         "update_wall_s",
         "factor_wall_s",
         "solve_cold_wall_s",
+        "serve_update_wall_s",
+        "publish_wall_s",
+        "serve_solve_wall_s",
     ];
     // Absolute floor absorbing scheduler/timer noise on sub-5 ms scenarios.
     const FLOOR_S: f64 = 0.005;
@@ -675,6 +786,7 @@ fn main() -> ExitCode {
         }
         scenarios.push(run_churn_scenario(case, &fixture, &args));
         scenarios.push(run_solve_scenario(case, &fixture, &args));
+        scenarios.push(run_serve_scenario(case, &fixture, &args));
     }
 
     let doc = obj(vec![

@@ -64,6 +64,36 @@ impl UpdateOp {
     }
 }
 
+/// Replays update operations onto a plain [`ingrass_graph::DynGraph`] —
+/// the ground-truth mirror of a stream: inserts add (or merge onto) the
+/// edge, deletes and reweights of edges the graph does not carry are
+/// silently skipped (the vacuous-op contract, matching the churn
+/// generator's whole-stream `apply_to`). This is how benches, examples,
+/// and tests keep the *original* graph in lockstep with the ops they feed
+/// [`crate::InGrassEngine::apply_batch`].
+///
+/// # Errors
+/// [`crate::InGrassError::Graph`] if an insert is invalid for the graph
+/// (out-of-bounds endpoint, self-loop, non-positive weight).
+pub fn replay_ops(graph: &mut ingrass_graph::DynGraph, ops: &[UpdateOp]) -> crate::Result<()> {
+    for op in ops {
+        match *op {
+            UpdateOp::Insert { u, v, weight } => {
+                graph.add_edge(u.into(), v.into(), weight)?;
+            }
+            UpdateOp::Delete { u, v } => {
+                graph.remove_edge(u.into(), v.into());
+            }
+            UpdateOp::Reweight { u, v, weight } => {
+                if let Some(id) = graph.edge_id(u.into(), v.into()) {
+                    graph.set_weight(id, weight)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Why the drift tracker asked for a re-setup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ResetupReason {

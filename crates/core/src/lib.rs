@@ -31,6 +31,13 @@
 //!   re-runs setup automatically once the configured [`DriftPolicy`] is
 //!   crossed. [`InGrassEngine::insert_batch`] remains as the insert-only
 //!   compatibility wrapper.
+//! * **Serving** ([`SnapshotEngine`], beyond the paper): a single-writer /
+//!   many-readers split over the engine. Each state-changing batch
+//!   publishes an immutable, epoch-tagged [`SparsifierSnapshot`]
+//!   (`Arc`-shared sparsifier + Laplacian CSR + grounded Cholesky factor +
+//!   resistance summary) that any number of reader threads solve and query
+//!   against while the writer keeps mutating — see the
+//!   [`snapshot`](SnapshotEngine) module docs for the concurrency model.
 //!
 //! # Quickstart
 //!
@@ -69,15 +76,22 @@ mod ledger;
 mod lrd;
 mod precond;
 mod report;
+mod snapshot;
 
 pub use config::{DriftPolicy, ResistanceBackend, SetupConfig, UpdateConfig};
 pub use connectivity::ClusterConnectivity;
 pub use engine::InGrassEngine;
 pub use error::InGrassError;
-pub use ledger::{DriftTracker, ResetupReason, StalenessTracker, UpdateLedger, UpdateOp};
+pub use ledger::{
+    replay_ops, DriftTracker, ResetupReason, StalenessTracker, UpdateLedger, UpdateOp,
+};
 pub use lrd::{LrdHierarchy, LrdLevel};
 pub use precond::SparsifierPrecond;
 pub use report::{EdgeOutcome, PhaseTimer, SetupReport, UpdateReport};
+pub use snapshot::{
+    BatchPublishReport, PublishReport, ResistanceSummary, SnapshotEngine, SnapshotReader,
+    SparsifierSnapshot,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, InGrassError>;

@@ -1,0 +1,721 @@
+//! Snapshot-isolated serving: the engine's ownership story refactored from
+//! `&mut`-everywhere to publish/subscribe.
+//!
+//! The incremental engine is inherently single-writer — every mutation
+//! rethreads the sparsifier, the connectivity index, and the ledger — but
+//! the *consumers* of the sparsifier (Laplacian solves, effective-resistance
+//! queries, condition monitoring) are read-only and embarrassingly
+//! concurrent. [`SnapshotEngine`] splits the two roles:
+//!
+//! * the **writer** owns the [`crate::InGrassEngine`] and applies update
+//!   batches exactly as before; after every state-changing batch it
+//!   *publishes* an immutable [`SparsifierSnapshot`];
+//! * any number of **readers** hold a cheap [`SnapshotReader`] handle and
+//!   load the current snapshot whenever they start a piece of work. A
+//!   reader keeps using the snapshot it loaded for as long as it likes —
+//!   the writer never invalidates memory out from under it (the snapshot is
+//!   `Arc`-shared and dropped only when the last holder lets go).
+//!
+//! Publication is a pointer swap under a briefly-held lock: readers block
+//! the writer only for the nanoseconds of the swap itself, never for the
+//! duration of a solve, and the writer blocks readers only while replacing
+//! one `Arc`. Staleness is explicit and bounded: a reader's view is the
+//! state as of the [`SparsifierSnapshot::version`] it loaded, and the
+//! `(instance_id, epoch, version)` tag says exactly which state that is.
+
+use crate::config::SetupConfig;
+use crate::engine::InGrassEngine;
+use crate::ledger::UpdateOp;
+use crate::lrd::LrdHierarchy;
+use crate::precond::SparsifierPrecond;
+use crate::report::{PhaseTimer, UpdateReport};
+use crate::{Result, UpdateConfig};
+use ingrass_graph::{Graph, NodeId};
+use ingrass_linalg::{CsrMatrix, Preconditioner};
+use std::sync::{Arc, RwLock};
+
+/// Aggregate resistance statistics of a snapshot's sparsifier, computed
+/// from the hierarchy's `O(log N)` resistance bounds at publish time.
+///
+/// These are the serving-side analogue of the drift tracker: a reader can
+/// judge how much spectral mass its (possibly stale) view carries without
+/// touching the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResistanceSummary {
+    /// Live sparsifier edges at publish time.
+    pub edges: usize,
+    /// Total sparsifier edge weight.
+    pub total_weight: f64,
+    /// Σ `w·R̂` over all sparsifier edges — the total estimated spectral
+    /// mass (compare against `n − 1`, the value for an ideal sparsifier).
+    pub total_distortion: f64,
+    /// Largest single-edge `w·R̂` contribution.
+    pub max_edge_distortion: f64,
+}
+
+/// An immutable, epoch-tagged view of the sparsifier, published by a
+/// [`SnapshotEngine`] and shared by reference counting.
+///
+/// # Invariants
+///
+/// * **Immutability** — nothing behind this type ever changes after
+///   [`SnapshotEngine::publish`] returns. Every field is plain owned data
+///   (or an `Arc` to data that is itself frozen for the snapshot's epoch),
+///   so a snapshot may be read from any number of threads without
+///   synchronization. The type is `Send + Sync`.
+/// * **Internal consistency** — [`SparsifierSnapshot::graph`],
+///   [`SparsifierSnapshot::laplacian`], and
+///   [`SparsifierSnapshot::preconditioner`] all describe the *same* state
+///   of the sparsifier: the Laplacian is built from the graph, and the
+///   grounded Cholesky factor is exact for that Laplacian — applying the
+///   preconditioner to a consistent right-hand side solves `L_H x = b` in
+///   one shot (PCG against [`SparsifierSnapshot::laplacian`] converges in
+///   ≤ 2 iterations).
+/// * **Tagging** — `(instance_id, epoch, version)` equals the owning
+///   engine's [`crate::InGrassEngine::instance_id`] /
+///   [`crate::InGrassEngine::epoch`] / [`crate::InGrassEngine::version`]
+///   at publish time. Snapshots from one engine are totally ordered by
+///   `version`; `epoch` moves only at re-setups.
+/// * **Checksum** — [`SparsifierSnapshot::checksum`] was computed over the
+///   Laplacian's CSR arrays (plus the tag) at publish time;
+///   [`SparsifierSnapshot::verify_checksum`] recomputes it. A mismatch
+///   would mean a torn publish — which the `Arc`-swap protocol makes
+///   impossible, and the concurrency suites assert exactly that.
+/// * **Longevity** — a snapshot outlives engine churn: re-setups and
+///   further batches never touch it, so a reader holding an old epoch's
+///   snapshot keeps getting exact answers *for that epoch's state*.
+///   Dropping the last `Arc` frees the factor with it.
+#[derive(Debug)]
+pub struct SparsifierSnapshot {
+    instance_id: u64,
+    epoch: u64,
+    version: u64,
+    sequence: u64,
+    graph: Graph,
+    laplacian: Arc<CsrMatrix>,
+    precond: SparsifierPrecond,
+    hierarchy: Arc<LrdHierarchy>,
+    resistance: ResistanceSummary,
+    checksum: u64,
+}
+
+/// FNV-1a over a byte slice, continuing from `h`.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl SparsifierSnapshot {
+    /// Builds a snapshot of the engine's current state. `hierarchy` must be
+    /// a clone of the engine's hierarchy at its current epoch.
+    fn capture(
+        engine: &InGrassEngine,
+        hierarchy: Arc<LrdHierarchy>,
+        sequence: u64,
+    ) -> Result<SparsifierSnapshot> {
+        let graph = engine.sparsifier_graph();
+        let laplacian = Arc::new(graph.laplacian());
+        let precond = engine.preconditioner()?;
+
+        let mut total_weight = 0.0;
+        let mut total_distortion = 0.0;
+        let mut max_edge_distortion = 0.0f64;
+        for e in graph.edges() {
+            total_weight += e.weight;
+            let r = hierarchy.resistance_bound(e.u, e.v);
+            if r.is_finite() {
+                let d = e.weight * r;
+                total_distortion += d;
+                max_edge_distortion = max_edge_distortion.max(d);
+            }
+        }
+        let resistance = ResistanceSummary {
+            edges: graph.num_edges(),
+            total_weight,
+            total_distortion,
+            max_edge_distortion,
+        };
+
+        let mut snap = SparsifierSnapshot {
+            instance_id: engine.instance_id(),
+            epoch: engine.epoch(),
+            version: engine.version(),
+            sequence,
+            graph,
+            laplacian,
+            precond,
+            hierarchy,
+            resistance,
+            checksum: 0,
+        };
+        snap.checksum = snap.compute_checksum();
+        Ok(snap)
+    }
+
+    /// Checksum over the Laplacian CSR arrays and the snapshot tag.
+    fn compute_checksum(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = fnv1a(h, &self.instance_id.to_le_bytes());
+        h = fnv1a(h, &self.epoch.to_le_bytes());
+        h = fnv1a(h, &self.version.to_le_bytes());
+        h = fnv1a(h, &(self.laplacian.n_rows() as u64).to_le_bytes());
+        for r in 0..self.laplacian.n_rows() {
+            let (cols, vals) = self.laplacian.row(r);
+            for &c in cols {
+                h = fnv1a(h, &c.to_le_bytes());
+            }
+            for &v in vals {
+                h = fnv1a(h, &v.to_bits().to_le_bytes());
+            }
+        }
+        h
+    }
+
+    /// The owning engine's process-unique identity
+    /// ([`crate::InGrassEngine::instance_id`]).
+    pub fn instance_id(&self) -> u64 {
+        self.instance_id
+    }
+
+    /// The engine epoch (re-setup count) this snapshot belongs to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The engine's monotone state version at publish time. Snapshots of
+    /// one engine are totally ordered by this field.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Publish sequence number within the owning [`SnapshotEngine`]
+    /// (1 for the snapshot published by setup, then +1 per publish).
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    /// Node count of the sparsifier.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// The frozen sparsifier graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The sparsifier Laplacian `L_H` in CSR form.
+    pub fn laplacian(&self) -> &CsrMatrix {
+        &self.laplacian
+    }
+
+    /// The Laplacian by shared handle — for callers (queues, services) that
+    /// outlive the borrow.
+    pub fn laplacian_arc(&self) -> Arc<CsrMatrix> {
+        Arc::clone(&self.laplacian)
+    }
+
+    /// The grounded Cholesky factor of `L_H` — exact for this snapshot's
+    /// sparsifier, a preconditioner for the original graph's Laplacian.
+    pub fn preconditioner(&self) -> &SparsifierPrecond {
+        &self.precond
+    }
+
+    /// Aggregate resistance statistics captured at publish time.
+    pub fn resistance_summary(&self) -> &ResistanceSummary {
+        &self.resistance
+    }
+
+    /// The hierarchy's `O(log N)` effective-resistance upper bound between
+    /// two nodes — the same estimate the update phase ranks insertions by,
+    /// served from the frozen epoch without touching the engine.
+    pub fn resistance_bound(&self, u: NodeId, v: NodeId) -> f64 {
+        self.hierarchy.resistance_bound(u, v)
+    }
+
+    /// *Exact* effective resistance between `u` and `v` in this snapshot's
+    /// sparsifier, via one grounded-factor solve of `L_H x = e_u − e_v`.
+    ///
+    /// This is the resistance-serving workload: `O(nnz(L))` per query
+    /// against a frozen view, with no iteration and no engine access.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of bounds.
+    pub fn effective_resistance(&self, u: NodeId, v: NodeId) -> f64 {
+        let n = self.num_nodes();
+        assert!(u.index() < n && v.index() < n, "node out of bounds");
+        if u == v {
+            return 0.0;
+        }
+        let mut b = vec![0.0; n];
+        b[u.index()] = 1.0;
+        b[v.index()] = -1.0;
+        let mut x = vec![0.0; n];
+        self.precond.apply(&b, &mut x);
+        x[u.index()] - x[v.index()]
+    }
+
+    /// The checksum computed over the Laplacian CSR arrays at publish time.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Recomputes the checksum and compares it against the value stored at
+    /// publish time. `false` would indicate a torn snapshot; the stress
+    /// suites call this from every reader thread.
+    pub fn verify_checksum(&self) -> bool {
+        self.compute_checksum() == self.checksum
+    }
+}
+
+/// What one [`SnapshotEngine::publish`] did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublishReport {
+    /// Engine epoch of the published snapshot.
+    pub epoch: u64,
+    /// Engine version of the published snapshot.
+    pub version: u64,
+    /// Publish sequence number ([`SparsifierSnapshot::sequence`]).
+    pub sequence: u64,
+    /// Wall seconds spent building the snapshot (graph freeze + Laplacian
+    /// assembly + grounded Cholesky + resistance summary) — the
+    /// publish latency the `serve/<case>` perf scenarios track.
+    pub publish_seconds: f64,
+    /// Stored entries of the snapshot's Cholesky factor.
+    pub factor_nnz: usize,
+    /// Live sparsifier edges in the snapshot.
+    pub edges: usize,
+}
+
+/// What one [`SnapshotEngine::apply_batch`] did: the engine's own update
+/// report plus the publish that followed (if the batch changed state).
+#[derive(Debug, Clone)]
+pub struct BatchPublishReport {
+    /// The inner engine's report for the batch.
+    pub update: UpdateReport,
+    /// The publish triggered by the batch; `None` for an empty batch (the
+    /// engine version did not move, so the current snapshot already *is*
+    /// the state).
+    pub publish: Option<PublishReport>,
+}
+
+/// The shared cell readers subscribe to. Publication replaces the `Arc`
+/// under a write lock held only for the swap.
+#[derive(Debug)]
+struct SnapshotCell {
+    current: RwLock<Arc<SparsifierSnapshot>>,
+}
+
+impl SnapshotCell {
+    fn load(&self) -> Arc<SparsifierSnapshot> {
+        // A poisoned lock only means some reader panicked mid-clone; the
+        // data is an Arc swap away from consistent either way.
+        match self.current.read() {
+            Ok(g) => Arc::clone(&g),
+            Err(p) => Arc::clone(&p.into_inner()),
+        }
+    }
+
+    fn store(&self, snap: Arc<SparsifierSnapshot>) {
+        match self.current.write() {
+            Ok(mut g) => *g = snap,
+            Err(p) => *p.into_inner() = snap,
+        }
+    }
+}
+
+/// A cheap, cloneable subscription to a [`SnapshotEngine`]'s published
+/// snapshots. Handles are `Send`; readers on other threads call
+/// [`SnapshotReader::current`] to load the newest snapshot and then work
+/// off it without further synchronization.
+#[derive(Debug, Clone)]
+pub struct SnapshotReader {
+    cell: Arc<SnapshotCell>,
+}
+
+impl SnapshotReader {
+    /// The most recently published snapshot.
+    pub fn current(&self) -> Arc<SparsifierSnapshot> {
+        self.cell.load()
+    }
+}
+
+/// A single-writer wrapper around [`crate::InGrassEngine`] that publishes
+/// an immutable [`SparsifierSnapshot`] after every state-changing batch,
+/// for any number of concurrent readers.
+///
+/// The writer API mirrors the engine ([`SnapshotEngine::apply_batch`],
+/// [`SnapshotEngine::resetup`]); readers come from
+/// [`SnapshotEngine::reader`]. Concurrency model and staleness contract:
+/// publication swaps an `Arc` under a briefly-held lock, so readers block
+/// the writer only for the swap itself; a reader's view is exact for the
+/// [`SparsifierSnapshot::version`] it loaded, and old views stay valid
+/// (and allocated) until their last holder drops them.
+///
+/// # Example
+///
+/// ```
+/// use ingrass::{SnapshotEngine, SetupConfig, UpdateConfig, UpdateOp};
+/// use ingrass_graph::Graph;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let h0 = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])?;
+/// let mut engine = SnapshotEngine::setup(&h0, &SetupConfig::default())?;
+/// let reader = engine.reader();
+/// let before = reader.current();
+///
+/// let report = engine.apply_batch(
+///     &[UpdateOp::Insert { u: 0, v: 2, weight: 0.5 }],
+///     &UpdateConfig::default(),
+/// )?;
+/// assert!(report.publish.is_some());
+/// let after = reader.current();
+/// assert!(after.version() > before.version()); // readers see the new state…
+/// assert!(before.verify_checksum());           // …and the old view stays intact.
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SnapshotEngine {
+    engine: InGrassEngine,
+    /// The current epoch's hierarchy, cloned out of the engine once per
+    /// epoch so every snapshot of the epoch shares one allocation.
+    hierarchy: Arc<LrdHierarchy>,
+    hierarchy_epoch: u64,
+    cell: Arc<SnapshotCell>,
+    sequence: u64,
+}
+
+impl SnapshotEngine {
+    /// Runs engine setup and publishes the initial snapshot (sequence 1).
+    ///
+    /// # Errors
+    /// As for [`crate::InGrassEngine::setup`].
+    pub fn setup(h0: &Graph, cfg: &SetupConfig) -> Result<Self> {
+        Self::from_engine(InGrassEngine::setup(h0, cfg)?)
+    }
+
+    /// Wraps an already-set-up engine and publishes its current state as
+    /// the initial snapshot.
+    ///
+    /// # Errors
+    /// Propagates preconditioner extraction failure (cannot happen while
+    /// the engine's connectivity invariant holds).
+    pub fn from_engine(engine: InGrassEngine) -> Result<Self> {
+        let hierarchy = Arc::new(engine.hierarchy().clone());
+        let hierarchy_epoch = engine.epoch();
+        let snap = SparsifierSnapshot::capture(&engine, Arc::clone(&hierarchy), 1)?;
+        Ok(SnapshotEngine {
+            engine,
+            hierarchy,
+            hierarchy_epoch,
+            cell: Arc::new(SnapshotCell {
+                current: RwLock::new(Arc::new(snap)),
+            }),
+            sequence: 1,
+        })
+    }
+
+    /// A new reader subscription. Clone freely; hand to other threads.
+    pub fn reader(&self) -> SnapshotReader {
+        SnapshotReader {
+            cell: Arc::clone(&self.cell),
+        }
+    }
+
+    /// The most recently published snapshot (writer-side convenience;
+    /// readers use [`SnapshotReader::current`]).
+    pub fn snapshot(&self) -> Arc<SparsifierSnapshot> {
+        self.cell.load()
+    }
+
+    /// Read access to the wrapped engine (stats, hierarchy, ledger).
+    ///
+    /// Intentionally *no* `engine_mut`: every mutation must flow through
+    /// [`SnapshotEngine::apply_batch`] / [`SnapshotEngine::resetup`] so the
+    /// published snapshot can never silently fall behind the engine.
+    pub fn engine(&self) -> &InGrassEngine {
+        &self.engine
+    }
+
+    /// Snapshots published so far (including the one from setup).
+    pub fn publishes(&self) -> u64 {
+        self.sequence
+    }
+
+    /// Applies one update batch through the wrapped engine and publishes a
+    /// fresh snapshot if the batch changed state (non-empty batch, or a
+    /// drift-triggered re-setup inside it).
+    ///
+    /// # Errors
+    /// As for [`crate::InGrassEngine::apply_batch`], plus preconditioner
+    /// extraction failure at publish.
+    pub fn apply_batch(
+        &mut self,
+        ops: &[UpdateOp],
+        cfg: &UpdateConfig,
+    ) -> Result<BatchPublishReport> {
+        let before = self.engine.version();
+        let update = self.engine.apply_batch(ops, cfg)?;
+        let publish = if self.engine.version() != before {
+            Some(self.publish()?)
+        } else {
+            None
+        };
+        Ok(BatchPublishReport { update, publish })
+    }
+
+    /// Forces a re-setup of the wrapped engine and publishes the new
+    /// epoch's snapshot.
+    ///
+    /// # Errors
+    /// As for [`crate::InGrassEngine::resetup`].
+    pub fn resetup(&mut self) -> Result<PublishReport> {
+        self.engine.resetup()?;
+        self.publish()
+    }
+
+    /// Captures the engine's current state into a fresh snapshot and swaps
+    /// it in as the current one. Readers holding older snapshots are
+    /// unaffected; the previous snapshot is freed once its last holder
+    /// drops it.
+    ///
+    /// Publishing is the expensive half of the split (it refactors the
+    /// sparsifier Laplacian); [`SnapshotEngine::apply_batch`] calls it
+    /// once per state-changing batch, which is also the granularity at
+    /// which a factor-exact snapshot is even possible.
+    ///
+    /// # Errors
+    /// Preconditioner extraction failure (disconnected or degenerate
+    /// sparsifier — cannot happen while engine invariants hold).
+    pub fn publish(&mut self) -> Result<PublishReport> {
+        let timer = PhaseTimer::start();
+        if self.hierarchy_epoch != self.engine.epoch() {
+            self.hierarchy = Arc::new(self.engine.hierarchy().clone());
+            self.hierarchy_epoch = self.engine.epoch();
+        }
+        // The counter moves only on success: a failed capture must leave
+        // publishes()/sequence untouched (no skipped sequence numbers).
+        let snap = Arc::new(SparsifierSnapshot::capture(
+            &self.engine,
+            Arc::clone(&self.hierarchy),
+            self.sequence + 1,
+        )?);
+        self.sequence += 1;
+        let report = PublishReport {
+            epoch: snap.epoch(),
+            version: snap.version(),
+            sequence: snap.sequence(),
+            publish_seconds: timer.total().as_secs_f64(),
+            factor_nnz: snap.preconditioner().factor_nnz(),
+            edges: snap.resistance_summary().edges,
+        };
+        self.cell.store(snap);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DriftPolicy;
+    use ingrass_linalg::{pcg, CgOptions};
+
+    fn ring_with_chords(n: usize) -> Graph {
+        let mut edges: Vec<(usize, usize, f64)> = (0..n)
+            .map(|i| (i, (i + 1) % n, 1.0 + (i % 3) as f64))
+            .collect();
+        for i in 0..n / 2 {
+            edges.push((i, i + n / 2, 0.5));
+        }
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn snapshot_types_are_send_and_sync() {
+        assert_send_sync::<SparsifierSnapshot>();
+        assert_send_sync::<SnapshotReader>();
+        assert_send_sync::<Arc<SparsifierSnapshot>>();
+    }
+
+    #[test]
+    fn setup_publishes_a_consistent_initial_snapshot() {
+        let h0 = ring_with_chords(20);
+        let engine = SnapshotEngine::setup(&h0, &SetupConfig::default()).unwrap();
+        let snap = engine.snapshot();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.version(), 0);
+        assert_eq!(snap.sequence(), 1);
+        assert_eq!(snap.num_nodes(), 20);
+        assert_eq!(snap.graph().num_edges(), h0.num_edges());
+        assert!(snap.verify_checksum());
+        let rs = snap.resistance_summary();
+        assert_eq!(rs.edges, h0.num_edges());
+        assert!((rs.total_weight - h0.total_weight()).abs() < 1e-9);
+        assert!(rs.total_distortion > 0.0);
+        assert!(rs.max_edge_distortion <= rs.total_distortion);
+    }
+
+    #[test]
+    fn snapshot_factor_is_exact_for_its_own_laplacian() {
+        let h0 = ring_with_chords(24);
+        let engine = SnapshotEngine::setup(&h0, &SetupConfig::default()).unwrap();
+        let snap = engine.snapshot();
+        let n = snap.num_nodes();
+        let mut b = vec![0.0; n];
+        b[1] = 1.0;
+        b[n - 2] = -1.0;
+        let ones = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let res = pcg(
+            snap.laplacian(),
+            &b,
+            &mut x,
+            snap.preconditioner(),
+            Some(&ones),
+            &CgOptions::default(),
+        );
+        assert!(res.converged);
+        assert!(res.iterations <= 2, "exact factor took {}", res.iterations);
+    }
+
+    #[test]
+    fn effective_resistance_matches_series_path() {
+        // A path of three unit edges: R(0,3) = 3, R(0,1) = 1.
+        let h0 = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let engine = SnapshotEngine::setup(&h0, &SetupConfig::default()).unwrap();
+        let snap = engine.snapshot();
+        assert!((snap.effective_resistance(0.into(), 3.into()) - 3.0).abs() < 1e-9);
+        assert!((snap.effective_resistance(0.into(), 1.into()) - 1.0).abs() < 1e-9);
+        assert_eq!(snap.effective_resistance(2.into(), 2.into()), 0.0);
+        assert!(snap.resistance_bound(0.into(), 3.into()) >= 3.0 - 1e-9);
+    }
+
+    #[test]
+    fn apply_batch_publishes_and_old_snapshots_survive() {
+        let h0 = ring_with_chords(20);
+        let mut engine = SnapshotEngine::setup(
+            &h0,
+            &SetupConfig::default().with_drift(DriftPolicy::never()),
+        )
+        .unwrap();
+        let reader = engine.reader();
+        let old = reader.current();
+        let old_edges = old.graph().num_edges();
+        let old_checksum = old.checksum();
+
+        let report = engine
+            .apply_batch(
+                &[UpdateOp::Insert {
+                    u: 0,
+                    v: 7,
+                    weight: 2.0,
+                }],
+                &UpdateConfig {
+                    target_condition: 4.0,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let publish = report.publish.expect("non-empty batch must publish");
+        assert_eq!(publish.version, engine.engine().version());
+        assert!(publish.publish_seconds >= 0.0);
+        assert!(publish.factor_nnz > 0);
+
+        let new = reader.current();
+        assert!(new.version() > old.version());
+        assert!(new.sequence() > old.sequence());
+        // The old view is untouched.
+        assert_eq!(old.graph().num_edges(), old_edges);
+        assert_eq!(old.checksum(), old_checksum);
+        assert!(old.verify_checksum());
+    }
+
+    #[test]
+    fn empty_batch_does_not_publish() {
+        let h0 = ring_with_chords(16);
+        let mut engine = SnapshotEngine::setup(&h0, &SetupConfig::default()).unwrap();
+        let before = engine.snapshot();
+        let report = engine.apply_batch(&[], &UpdateConfig::default()).unwrap();
+        assert!(report.publish.is_none());
+        assert!(Arc::ptr_eq(&before, &engine.snapshot()));
+        assert_eq!(engine.publishes(), 1);
+    }
+
+    #[test]
+    fn resetup_bumps_the_epoch_tag_and_old_epoch_stays_usable() {
+        let h0 = ring_with_chords(20);
+        let mut engine = SnapshotEngine::setup(&h0, &SetupConfig::default()).unwrap();
+        let old = engine.snapshot();
+        let publish = engine.resetup().unwrap();
+        assert_eq!(publish.epoch, 1);
+        let new = engine.snapshot();
+        assert_eq!(new.epoch(), 1);
+        assert_eq!(old.epoch(), 0);
+        // The old epoch's factor still answers exactly for its own state.
+        let r = old.effective_resistance(0.into(), 5.into());
+        assert!(r.is_finite() && r > 0.0);
+        assert!(old.verify_checksum());
+    }
+
+    #[test]
+    fn dropped_snapshots_are_freed_once_unpublished() {
+        let h0 = ring_with_chords(16);
+        let mut engine = SnapshotEngine::setup(&h0, &SetupConfig::default()).unwrap();
+        let old = engine.snapshot();
+        let weak = Arc::downgrade(&old);
+        drop(old);
+        // Still alive: the cell holds it as the current snapshot.
+        assert!(weak.upgrade().is_some());
+        engine
+            .apply_batch(
+                &[UpdateOp::Insert {
+                    u: 0,
+                    v: 5,
+                    weight: 1.0,
+                }],
+                &UpdateConfig::default(),
+            )
+            .unwrap();
+        // Replaced and unreferenced: the factor is gone with it.
+        assert!(weak.upgrade().is_none());
+    }
+
+    #[test]
+    fn reader_handles_work_across_threads() {
+        let h0 = ring_with_chords(20);
+        let mut engine = SnapshotEngine::setup(&h0, &SetupConfig::default()).unwrap();
+        let reader = engine.reader();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let r = reader.clone();
+                    s.spawn(move || {
+                        let snap = r.current();
+                        assert!(snap.verify_checksum());
+                        snap.version()
+                    })
+                })
+                .collect();
+            engine
+                .apply_batch(
+                    &[UpdateOp::Insert {
+                        u: 1,
+                        v: 9,
+                        weight: 0.3,
+                    }],
+                    &UpdateConfig::default(),
+                )
+                .unwrap();
+            for h in handles {
+                let v = h.join().unwrap();
+                assert!(v <= engine.engine().version());
+            }
+        });
+    }
+}

@@ -20,12 +20,14 @@ mod condition;
 mod density;
 mod distortion;
 mod error;
+mod latency;
 mod trajectory;
 
 pub use condition::{estimate_condition_number, ConditionEstimate, ConditionOptions};
 pub use density::{DensityReport, SparsifierDensity};
 pub use distortion::{offtree_distortion_stats, DistortionStats};
 pub use error::MetricsError;
+pub use latency::LatencySummary;
 pub use trajectory::{ConditionTrajectory, TrajectoryPoint};
 
 /// Crate-wide result alias.

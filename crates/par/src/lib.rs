@@ -189,7 +189,18 @@ pub fn scope<'env, F, R>(f: F) -> R
 where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
-    Pool::new(num_threads()).scoped(f)
+    scope_with(num_threads(), f)
+}
+
+/// [`scope`] at an explicit worker width (clamped to ≥ 1): the fork–join
+/// companion to [`par_map_with`] for irregular job shapes whose caller
+/// carries its own thread knob instead of the ambient `INGRASS_THREADS`
+/// width.
+pub fn scope_with<'env, F, R>(threads: usize, f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Pool::new(threads.max(1)).scoped(f)
 }
 
 #[cfg(test)]
@@ -278,6 +289,24 @@ mod tests {
             assert_eq!(num_threads(), host, "value {bad:?} must be ignored");
         }
         std::env::remove_var(THREADS_ENV);
+    }
+
+    #[test]
+    fn scope_with_explicit_width_joins_all_jobs() {
+        // No ENV_LOCK needed: the width is explicit, nothing reads the env.
+        for width in [1, 2, 4] {
+            let mut parts = vec![0usize; 4];
+            scope_with(width, |s| {
+                for (i, p) in parts.iter_mut().enumerate() {
+                    s.execute(move || *p = i + 1);
+                }
+            });
+            assert_eq!(parts, vec![1, 2, 3, 4], "width {width}");
+        }
+        // Zero clamps to one worker instead of panicking.
+        let mut one = 0usize;
+        scope_with(0, |s| s.execute(|| one = 7));
+        assert_eq!(one, 7);
     }
 
     #[test]

@@ -1,0 +1,485 @@
+//! Concurrent, snapshot-isolated solve serving: admission-batching of
+//! right-hand sides per snapshot, drained in parallel on the `ingrass-par`
+//! pool.
+//!
+//! The [`crate::SolveService`] is a single-caller object: one `&mut`
+//! holder, one factorization cache, solves serialized against the caller.
+//! [`ConcurrentSolveService`] is its serving-layer counterpart for the
+//! [`ingrass::SnapshotEngine`] world:
+//!
+//! * **submission is `&self`** — any number of reader threads
+//!   [`submit`](ConcurrentSolveService::submit) right-hand sides, each
+//!   tagged with the [`ingrass::SparsifierSnapshot`] (and matching
+//!   original-graph Laplacian) it should be answered against. Requests
+//!   against the *same* snapshot coalesce into one admission group — the
+//!   multi-RHS batch shape the PCG layer is built for;
+//! * **draining is `&self` too** — [`drain`](ConcurrentSolveService::drain)
+//!   takes the pending groups out under the lock, then solves them
+//!   *outside* the lock, fanning the admitted requests out across
+//!   `ingrass-par` workers ([`ingrass_par::par_map_with`] at the
+//!   configured width — the pool's dynamic cursor load-balances uneven
+//!   groups). Submissions arriving during a drain simply land in the next
+//!   round.
+//!
+//! Results are deterministic: each request is solved independently from a
+//! zero initial guess, so the answers are bit-for-bit identical at any
+//! worker width and any submission interleaving — only the grouping (and
+//! therefore throughput) depends on timing.
+
+use crate::service::{PrecondKind, SolveConfig};
+use ingrass::{PhaseTimer, SparsifierSnapshot};
+use ingrass_linalg::{CgResult, CsrMatrix};
+use ingrass_metrics::LatencySummary;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Identifies one submitted request; [`Served`] results carry it back.
+/// Tickets are handed out in admission order (0, 1, 2, …) per service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(pub u64);
+
+/// One answered request of a [`DrainReport`].
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// The ticket returned by [`ConcurrentSolveService::submit`].
+    pub ticket: Ticket,
+    /// Epoch of the snapshot the request was answered against.
+    pub epoch: u64,
+    /// Version of the snapshot the request was answered against.
+    pub version: u64,
+    /// The (zero-mean) solution potentials.
+    pub x: Vec<f64>,
+    /// The PCG outcome.
+    pub result: CgResult,
+}
+
+/// What one [`ConcurrentSolveService::drain`] round did.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Answered requests, sorted by ticket (admission order).
+    pub served: Vec<Served>,
+    /// Admission groups (distinct snapshots) the round covered.
+    pub groups: usize,
+    /// Wall seconds the round spent solving.
+    pub solve_seconds: f64,
+}
+
+impl DrainReport {
+    /// Whether every request in the round reached its tolerance.
+    pub fn all_converged(&self) -> bool {
+        self.served.iter().all(|s| s.result.converged)
+    }
+
+    /// PCG iterations summed over the round.
+    pub fn total_iterations(&self) -> usize {
+        self.served.iter().map(|s| s.result.iterations).sum()
+    }
+}
+
+/// Lifetime counters of a [`ConcurrentSolveService`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ConcurrentSolveStats {
+    /// Requests admitted.
+    pub submitted: usize,
+    /// Requests answered.
+    pub served: usize,
+    /// Non-empty drain rounds.
+    pub drains: usize,
+    /// Admission groups solved across all rounds.
+    pub groups_served: usize,
+    /// PCG iterations summed over all answered requests.
+    pub iterations_total: usize,
+    /// Per-round solve wall time.
+    pub drain_latency: LatencySummary,
+}
+
+/// A pending admission group: requests against one snapshot/Laplacian pair.
+struct Group {
+    snapshot: Arc<SparsifierSnapshot>,
+    laplacian: Arc<CsrMatrix>,
+    rhss: Vec<Vec<f64>>,
+    tickets: Vec<u64>,
+}
+
+struct Inner {
+    groups: Vec<Group>,
+    next_ticket: u64,
+    stats: ConcurrentSolveStats,
+}
+
+/// A thread-safe solve frontend over published sparsifier snapshots:
+/// submissions coalesce per snapshot, drains answer them in parallel.
+///
+/// All methods take `&self`; share the service by reference (or `Arc`)
+/// between reader threads and whoever drives the drain loop. The service
+/// never touches an engine — every request names the immutable snapshot it
+/// wants answered against, which is what makes serving safe while a writer
+/// churns.
+///
+/// # Example
+///
+/// ```
+/// use ingrass::{SnapshotEngine, SetupConfig};
+/// use ingrass_solve::{ConcurrentSolveService, SolveConfig};
+/// use ingrass_graph::Graph;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let h0 = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])?;
+/// let engine = SnapshotEngine::setup(&h0, &SetupConfig::default())?;
+/// let snap = engine.snapshot();
+/// // Serve against the snapshot's own Laplacian (resistance workload);
+/// // production pairs the snapshot with the original graph's Laplacian.
+/// let lap = snap.laplacian_arc();
+///
+/// let service = ConcurrentSolveService::new(SolveConfig::default());
+/// let t = service.submit(&snap, &lap, vec![1.0, 0.0, 0.0, -1.0])?;
+/// let round = service.drain();
+/// assert_eq!(round.served.len(), 1);
+/// assert_eq!(round.served[0].ticket, t);
+/// assert!(round.all_converged());
+/// # Ok(())
+/// # }
+/// ```
+pub struct ConcurrentSolveService {
+    cfg: SolveConfig,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for ConcurrentSolveService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (pending, stats) = {
+            let inner = self.lock();
+            (
+                inner.groups.iter().map(|g| g.rhss.len()).sum::<usize>(),
+                inner.stats,
+            )
+        };
+        f.debug_struct("ConcurrentSolveService")
+            .field("cfg", &self.cfg)
+            .field("pending", &pending)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl ConcurrentSolveService {
+    /// A service with the given configuration. The
+    /// [`SolveConfig::strategy`] field is ignored — the preconditioner is
+    /// always the snapshot's own factor; `cg` and `threads` apply as in
+    /// [`crate::SolveService`].
+    pub fn new(cfg: SolveConfig) -> Self {
+        ConcurrentSolveService {
+            cfg,
+            inner: Mutex::new(Inner {
+                groups: Vec::new(),
+                next_ticket: 0,
+                stats: ConcurrentSolveStats::default(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // Poisoning only means another caller panicked while queueing; the
+        // queue itself is still structurally sound.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Admits one right-hand side to be solved against `snapshot`
+    /// (preconditioner) and `laplacian` (the system matrix — the original
+    /// graph's Laplacian matching the snapshot's version). Requests naming
+    /// the same snapshot coalesce into one admission group.
+    ///
+    /// # Errors
+    /// [`crate::SolveError::Dimension`] if the Laplacian or right-hand
+    /// side shape disagrees with the snapshot's node count.
+    pub fn submit(
+        &self,
+        snapshot: &Arc<SparsifierSnapshot>,
+        laplacian: &Arc<CsrMatrix>,
+        rhs: Vec<f64>,
+    ) -> crate::Result<Ticket> {
+        crate::service::check_dims(snapshot.num_nodes(), laplacian, std::slice::from_ref(&rhs))?;
+        let mut inner = self.lock();
+        let ticket = inner.next_ticket;
+        inner.next_ticket += 1;
+        inner.stats.submitted += 1;
+        if let Some(group) = inner
+            .groups
+            .iter_mut()
+            .find(|g| Arc::ptr_eq(&g.snapshot, snapshot) && Arc::ptr_eq(&g.laplacian, laplacian))
+        {
+            group.rhss.push(rhs);
+            group.tickets.push(ticket);
+        } else {
+            inner.groups.push(Group {
+                snapshot: Arc::clone(snapshot),
+                laplacian: Arc::clone(laplacian),
+                rhss: vec![rhs],
+                tickets: vec![ticket],
+            });
+        }
+        Ok(Ticket(ticket))
+    }
+
+    /// Requests admitted but not yet drained.
+    pub fn pending(&self) -> usize {
+        self.lock().groups.iter().map(|g| g.rhss.len()).sum()
+    }
+
+    /// Lifetime counters (copied out under the lock).
+    pub fn stats(&self) -> ConcurrentSolveStats {
+        self.lock().stats
+    }
+
+    /// Answers every pending request and returns the round's results in
+    /// admission (ticket) order.
+    ///
+    /// The pending groups are taken out under the lock; the solves run
+    /// with the lock *released*, distributed over the configured worker
+    /// width (`SolveConfig::threads`, default the ambient `ingrass-par`
+    /// width) — submitters are never blocked by a running drain. Each
+    /// request gets the same treatment as [`crate::SolveService`]: `1⊥`
+    /// projection, constant deflation, the snapshot's exact factor as the
+    /// preconditioner. Non-convergence is reported per request, not as an
+    /// error.
+    pub fn drain(&self) -> DrainReport {
+        let groups: Vec<Group> = std::mem::take(&mut self.lock().groups);
+        if groups.is_empty() {
+            return DrainReport {
+                served: Vec::new(),
+                groups: 0,
+                solve_seconds: 0.0,
+            };
+        }
+
+        // Flatten to (group, rhs) tasks: groups of any skew share one
+        // worker pool instead of serializing per group.
+        let tasks: Vec<(usize, usize)> = groups
+            .iter()
+            .enumerate()
+            .flat_map(|(gi, g)| (0..g.rhss.len()).map(move |ri| (gi, ri)))
+            .collect();
+        let threads = self.cfg.threads.unwrap_or_else(ingrass_par::num_threads);
+        let timer = PhaseTimer::start();
+        let solved: Vec<(Vec<f64>, CgResult)> =
+            ingrass_par::par_map_with(threads, &tasks, |&(gi, ri)| {
+                let g = &groups[gi];
+                crate::service::solve_projected(
+                    &g.laplacian,
+                    &g.rhss[ri],
+                    g.snapshot.preconditioner(),
+                    &self.cfg.cg,
+                )
+            });
+        let solve_seconds = timer.total().as_secs_f64();
+
+        let mut served: Vec<Served> = tasks
+            .iter()
+            .zip(solved)
+            .map(|(&(gi, ri), (x, result))| Served {
+                ticket: Ticket(groups[gi].tickets[ri]),
+                epoch: groups[gi].snapshot.epoch(),
+                version: groups[gi].snapshot.version(),
+                x,
+                result,
+            })
+            .collect();
+        served.sort_by_key(|s| s.ticket);
+
+        let mut inner = self.lock();
+        inner.stats.served += served.len();
+        inner.stats.drains += 1;
+        inner.stats.groups_served += groups.len();
+        inner.stats.iterations_total += served.iter().map(|s| s.result.iterations).sum::<usize>();
+        inner.stats.drain_latency.record(solve_seconds);
+        drop(inner);
+
+        DrainReport {
+            served,
+            groups: groups.len(),
+            solve_seconds,
+        }
+    }
+}
+
+/// The preconditioner kind every snapshot-path solve uses (the snapshot's
+/// grounded Cholesky factor). Reporting layers — including
+/// [`crate::SolveService::solve_snapshot_batch`]'s report tag — reference
+/// this instead of hard-coding the variant.
+pub const SNAPSHOT_PRECOND: PrecondKind = PrecondKind::Cholesky;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveError;
+    use ingrass::{SetupConfig, SnapshotEngine, UpdateConfig, UpdateOp};
+    use ingrass_graph::Graph;
+
+    fn ring(n: usize) -> Graph {
+        let mut edges: Vec<(usize, usize, f64)> = (0..n)
+            .map(|i| (i, (i + 1) % n, 1.0 + (i % 4) as f64))
+            .collect();
+        for i in 0..n / 2 {
+            edges.push((i, i + n / 2, 0.5));
+        }
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    fn pair_rhs(n: usize, u: usize, v: usize) -> Vec<f64> {
+        let mut b = vec![0.0; n];
+        b[u] = 1.0;
+        b[v] = -1.0;
+        b
+    }
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn service_is_shareable_across_threads() {
+        assert_send_sync::<ConcurrentSolveService>();
+    }
+
+    #[test]
+    fn same_snapshot_requests_coalesce_into_one_group() {
+        let engine = SnapshotEngine::setup(&ring(16), &SetupConfig::default()).unwrap();
+        let snap = engine.snapshot();
+        let lap = snap.laplacian_arc();
+        let svc = ConcurrentSolveService::new(SolveConfig::default());
+        let t0 = svc.submit(&snap, &lap, pair_rhs(16, 0, 8)).unwrap();
+        let t1 = svc.submit(&snap, &lap, pair_rhs(16, 1, 9)).unwrap();
+        assert_eq!((t0, t1), (Ticket(0), Ticket(1)));
+        assert_eq!(svc.pending(), 2);
+        let round = svc.drain();
+        assert_eq!(round.groups, 1, "same snapshot must admission-batch");
+        assert_eq!(round.served.len(), 2);
+        assert!(round.all_converged());
+        assert_eq!(svc.pending(), 0);
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.drains, 1);
+        assert_eq!(stats.groups_served, 1);
+        assert_eq!(stats.drain_latency.count(), 1);
+    }
+
+    #[test]
+    fn distinct_snapshots_are_grouped_apart_and_tagged() {
+        let mut engine = SnapshotEngine::setup(&ring(16), &SetupConfig::default()).unwrap();
+        let old = engine.snapshot();
+        let old_lap = old.laplacian_arc();
+        engine
+            .apply_batch(
+                &[UpdateOp::Insert {
+                    u: 0,
+                    v: 5,
+                    weight: 1.5,
+                }],
+                &UpdateConfig::default(),
+            )
+            .unwrap();
+        let new = engine.snapshot();
+        let new_lap = new.laplacian_arc();
+        assert!(new.version() > old.version());
+
+        let svc = ConcurrentSolveService::new(SolveConfig::default());
+        svc.submit(&old, &old_lap, pair_rhs(16, 0, 8)).unwrap();
+        svc.submit(&new, &new_lap, pair_rhs(16, 2, 10)).unwrap();
+        svc.submit(&old, &old_lap, pair_rhs(16, 3, 11)).unwrap();
+        let round = svc.drain();
+        assert_eq!(round.groups, 2);
+        assert_eq!(round.served.len(), 3);
+        // Ticket order is admission order, and each answer carries the
+        // version of the snapshot it was served from.
+        assert_eq!(round.served[0].version, old.version());
+        assert_eq!(round.served[1].version, new.version());
+        assert_eq!(round.served[2].version, old.version());
+        assert!(round.all_converged());
+    }
+
+    #[test]
+    fn drain_results_are_deterministic_at_any_width() {
+        let engine = SnapshotEngine::setup(&ring(20), &SetupConfig::default()).unwrap();
+        let snap = engine.snapshot();
+        let lap = snap.laplacian_arc();
+        let run = |threads: Option<usize>| {
+            let svc = ConcurrentSolveService::new(SolveConfig {
+                threads,
+                ..Default::default()
+            });
+            for k in 0..5 {
+                svc.submit(&snap, &lap, pair_rhs(20, k, 19 - k)).unwrap();
+            }
+            svc.drain()
+                .served
+                .into_iter()
+                .map(|s| s.x)
+                .collect::<Vec<_>>()
+        };
+        let one = run(Some(1));
+        for w in [2, 4, 8] {
+            assert_eq!(run(Some(w)), one, "width {w} diverged");
+        }
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected_at_submission() {
+        let engine = SnapshotEngine::setup(&ring(12), &SetupConfig::default()).unwrap();
+        let snap = engine.snapshot();
+        let lap = snap.laplacian_arc();
+        let svc = ConcurrentSolveService::new(SolveConfig::default());
+        assert!(matches!(
+            svc.submit(&snap, &lap, vec![1.0, -1.0]),
+            Err(SolveError::Dimension {
+                what: "right-hand side",
+                ..
+            })
+        ));
+        let small = Arc::new(CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]));
+        assert!(matches!(
+            svc.submit(&snap, &small, pair_rhs(12, 0, 1)),
+            Err(SolveError::Dimension {
+                what: "laplacian",
+                ..
+            })
+        ));
+        assert_eq!(svc.pending(), 0, "rejected requests must not queue");
+    }
+
+    #[test]
+    fn empty_drain_is_a_cheap_noop() {
+        let svc = ConcurrentSolveService::new(SolveConfig::default());
+        let round = svc.drain();
+        assert!(round.served.is_empty());
+        assert_eq!(round.groups, 0);
+        assert_eq!(svc.stats().drains, 0, "empty rounds don't count");
+    }
+
+    #[test]
+    fn concurrent_submissions_all_get_answered() {
+        let engine = SnapshotEngine::setup(&ring(20), &SetupConfig::default()).unwrap();
+        let snap = engine.snapshot();
+        let lap = snap.laplacian_arc();
+        let svc = ConcurrentSolveService::new(SolveConfig::default());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let (svc, snap, lap) = (&svc, &snap, &lap);
+                s.spawn(move || {
+                    for k in 0..8 {
+                        svc.submit(snap, lap, pair_rhs(20, (t + k) % 20, (t + k + 7) % 20))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(svc.pending(), 32);
+        let round = svc.drain();
+        assert_eq!(round.served.len(), 32);
+        assert!(round.all_converged());
+        // Tickets are a permutation of 0..32, reported sorted.
+        let tickets: Vec<u64> = round.served.iter().map(|s| s.ticket.0).collect();
+        assert_eq!(tickets, (0..32).collect::<Vec<u64>>());
+    }
+}

@@ -16,6 +16,16 @@
 //! incremental update phase keeps small — instead of the `O(√κ(L_G))` of
 //! plain CG.
 //!
+//! For concurrent serving, [`ConcurrentSolveService`] pairs with the
+//! engine's snapshot layer (`ingrass::SnapshotEngine`): reader threads
+//! submit right-hand sides tagged with the immutable snapshot they should
+//! be answered against, submissions against one snapshot coalesce into a
+//! multi-RHS admission group, and `drain` answers every pending group on
+//! the `ingrass-par` worker pool — all without ever borrowing the engine,
+//! so a writer keeps applying update batches throughout.
+//! [`SolveService::solve_snapshot_batch`] is the single-caller form of the
+//! same snapshot-isolated path.
+//!
 //! # Example
 //!
 //! ```
@@ -51,8 +61,12 @@
 
 #![deny(missing_docs)]
 
+mod concurrent;
 mod service;
 
+pub use concurrent::{
+    ConcurrentSolveService, ConcurrentSolveStats, DrainReport, Served, Ticket, SNAPSHOT_PRECOND,
+};
 pub use service::{
     unpreconditioned_cg, PrecondKind, PrecondStrategy, SolveConfig, SolveError, SolveReport,
     SolveService, SolveStats,

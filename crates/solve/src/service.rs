@@ -1,8 +1,8 @@
 //! The solve service: epoch-keyed preconditioner cache + batched PCG.
 
-use ingrass::{InGrassEngine, InGrassError, PhaseTimer, SparsifierPrecond};
+use ingrass::{InGrassEngine, InGrassError, PhaseTimer, SparsifierPrecond, SparsifierSnapshot};
 use ingrass_graph::{kruskal_tree, TreeObjective, TreePrecond};
-use ingrass_linalg::{pcg_multi, CgOptions, CgResult, CsrMatrix, JacobiPrecond, Preconditioner};
+use ingrass_linalg::{pcg, CgOptions, CgResult, CsrMatrix, JacobiPrecond, Preconditioner};
 use std::fmt;
 
 /// How the service turns the live sparsifier into a preconditioner.
@@ -37,7 +37,7 @@ impl Default for PrecondStrategy {
 
 /// Which preconditioner a [`SolveReport`] actually used (the resolution of
 /// [`PrecondStrategy::Auto`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PrecondKind {
     /// Grounded sparse Cholesky of the sparsifier Laplacian.
     Cholesky,
@@ -161,8 +161,12 @@ pub struct SolveStats {
     pub factorizations: usize,
     /// Batches served from the cached factorization.
     pub cache_hits: usize,
-    /// `solve_batch` calls served.
+    /// `solve_batch` calls served (engine-cached and snapshot paths).
     pub batches: usize,
+    /// Batches served against an immutable snapshot
+    /// ([`SolveService::solve_snapshot_batch`]) — these never touch the
+    /// factorization cache.
+    pub snapshot_batches: usize,
     /// Individual right-hand sides solved.
     pub solves: usize,
     /// PCG iterations summed over all solves.
@@ -215,6 +219,14 @@ impl SolveReport {
 /// re-setup bumps the epoch — and handing the service a different engine
 /// changes the instance — so the next solve rebuilds automatically. See
 /// the [crate-level docs](crate) for the full story.
+///
+/// The engine is borrowed *shared* and only for the duration of a single
+/// call: between solves the caller is free to read engine stats
+/// ([`InGrassEngine::epoch`], [`InGrassEngine::resetups`]) or apply update
+/// batches (`tests/solve_service.rs` pins this). For serving threads that
+/// must not touch the engine at all,
+/// [`SolveService::solve_snapshot_batch`] answers against an immutable
+/// [`SparsifierSnapshot`] instead.
 pub struct SolveService {
     cfg: SolveConfig,
     cache: Option<CachedPrecond>,
@@ -298,53 +310,14 @@ impl SolveService {
         rhss: &[Vec<f64>],
     ) -> crate::Result<(Vec<Vec<f64>>, SolveReport)> {
         let n = engine.sparsifier().num_nodes();
-        if laplacian.n_rows() != n || laplacian.n_cols() != n {
-            return Err(SolveError::Dimension {
-                expected: n,
-                found: laplacian.n_rows().max(laplacian.n_cols()),
-                what: "laplacian",
-            });
-        }
-        for b in rhss {
-            if b.len() != n {
-                return Err(SolveError::Dimension {
-                    expected: n,
-                    found: b.len(),
-                    what: "right-hand side",
-                });
-            }
-        }
+        check_dims(n, laplacian, rhss)?;
 
         let (refactorized, factor_seconds) = self.ensure_precond(engine)?;
         let cached = self.cache.as_ref().expect("ensure_precond populated cache");
 
-        // Consistency projection: b ← b − mean(b)·1.
-        let projected: Vec<Vec<f64>> = rhss
-            .iter()
-            .map(|b| {
-                let mean = b.iter().sum::<f64>() / n.max(1) as f64;
-                b.iter().map(|v| v - mean).collect()
-            })
-            .collect();
-        let ones = vec![1.0; n];
         let threads = self.cfg.threads.unwrap_or_else(ingrass_par::num_threads);
-        let timer = PhaseTimer::start();
-        let solved = pcg_multi(
-            laplacian,
-            &projected,
-            &cached.imp,
-            Some(&ones),
-            &self.cfg.cg,
-            threads,
-        );
-        let solve_seconds = timer.total().as_secs_f64();
-
-        let mut xs = Vec::with_capacity(solved.len());
-        let mut results = Vec::with_capacity(solved.len());
-        for (x, r) in solved {
-            xs.push(x);
-            results.push(r);
-        }
+        let (xs, results, solve_seconds) =
+            pcg_batch(laplacian, rhss, &cached.imp, &self.cfg.cg, threads);
         self.stats.batches += 1;
         self.stats.solves += rhss.len();
         self.stats.iterations_total += results.iter().map(|r| r.iterations).sum::<usize>();
@@ -354,6 +327,57 @@ impl SolveService {
             precond: cached.kind,
             factor_seconds,
             factor_nnz: cached.factor_nnz,
+            solve_seconds,
+            results,
+        };
+        Ok((xs, report))
+    }
+
+    /// Solves `L_G xᵢ = bᵢ` against an immutable [`SparsifierSnapshot`]:
+    /// the preconditioner is the snapshot's own grounded Cholesky factor,
+    /// so this path **borrows no engine at all** and never touches the
+    /// factorization cache — the narrow-borrow entry point for serving
+    /// threads that hold a snapshot while a writer mutates the engine
+    /// elsewhere.
+    ///
+    /// `laplacian` is the original graph's Laplacian *as of the state the
+    /// caller wants answered* — typically the graph matching the
+    /// snapshot's version (the concurrent serving layer keeps the pair
+    /// together). Right-hand sides are projected onto `1⊥` exactly as in
+    /// [`SolveService::solve_batch`].
+    ///
+    /// The returned report carries the snapshot's epoch; `refactorized` is
+    /// always `false` and `factor_seconds` 0 (the factor was paid for at
+    /// publish time by the [`ingrass::SnapshotEngine`]).
+    ///
+    /// # Errors
+    /// [`SolveError::Dimension`] on operand/snapshot shape mismatch.
+    pub fn solve_snapshot_batch(
+        &mut self,
+        snapshot: &SparsifierSnapshot,
+        laplacian: &CsrMatrix,
+        rhss: &[Vec<f64>],
+    ) -> crate::Result<(Vec<Vec<f64>>, SolveReport)> {
+        let n = snapshot.num_nodes();
+        check_dims(n, laplacian, rhss)?;
+        let threads = self.cfg.threads.unwrap_or_else(ingrass_par::num_threads);
+        let (xs, results, solve_seconds) = pcg_batch(
+            laplacian,
+            rhss,
+            snapshot.preconditioner(),
+            &self.cfg.cg,
+            threads,
+        );
+        self.stats.batches += 1;
+        self.stats.snapshot_batches += 1;
+        self.stats.solves += rhss.len();
+        self.stats.iterations_total += results.iter().map(|r| r.iterations).sum::<usize>();
+        let report = SolveReport {
+            epoch: snapshot.epoch(),
+            refactorized: false,
+            precond: crate::SNAPSHOT_PRECOND,
+            factor_seconds: 0.0,
+            factor_nnz: snapshot.preconditioner().factor_nnz(),
             solve_seconds,
             results,
         };
@@ -418,6 +442,78 @@ impl SolveService {
         self.stats.factorizations += 1;
         Ok((true, factor_seconds))
     }
+}
+
+/// Dimension validation shared by every solve entry point (including the
+/// concurrent service's admission path).
+pub(crate) fn check_dims(n: usize, laplacian: &CsrMatrix, rhss: &[Vec<f64>]) -> crate::Result<()> {
+    if laplacian.n_rows() != n || laplacian.n_cols() != n {
+        return Err(SolveError::Dimension {
+            expected: n,
+            found: laplacian.n_rows().max(laplacian.n_cols()),
+            what: "laplacian",
+        });
+    }
+    for b in rhss {
+        if b.len() != n {
+            return Err(SolveError::Dimension {
+                expected: n,
+                found: b.len(),
+                what: "right-hand side",
+            });
+        }
+    }
+    Ok(())
+}
+
+/// One deflated, `1⊥`-projected PCG solve from a zero initial guess
+/// (b ← b − mean(b)·1 for Laplacian consistency, constant deflation every
+/// iteration) — the single-solve recipe every serving path shares: the
+/// cached-engine batch, the snapshot batch, and the concurrent service's
+/// per-request drain.
+pub(crate) fn solve_projected<M>(
+    laplacian: &CsrMatrix,
+    rhs: &[f64],
+    precond: &M,
+    cg: &CgOptions,
+) -> (Vec<f64>, CgResult)
+where
+    M: Preconditioner + ?Sized,
+{
+    let n = laplacian.n_rows();
+    let mean = rhs.iter().sum::<f64>() / n.max(1) as f64;
+    let projected: Vec<f64> = rhs.iter().map(|v| v - mean).collect();
+    let ones = vec![1.0; n];
+    let mut x = vec![0.0; n];
+    let result = pcg(laplacian, &projected, &mut x, precond, Some(&ones), cg);
+    (x, result)
+}
+
+/// [`solve_projected`] over a batch, distributed across `threads` workers
+/// (bit-identical to the serial loop at any width — see `ingrass-par`).
+/// Returns the solutions, the per-RHS outcomes, and the solve wall seconds.
+fn pcg_batch<M>(
+    laplacian: &CsrMatrix,
+    rhss: &[Vec<f64>],
+    precond: &M,
+    cg: &CgOptions,
+    threads: usize,
+) -> (Vec<Vec<f64>>, Vec<CgResult>, f64)
+where
+    M: Preconditioner + Sync + ?Sized,
+{
+    let timer = PhaseTimer::start();
+    let solved = ingrass_par::par_map_with(threads, rhss, |b| {
+        solve_projected(laplacian, b, precond, cg)
+    });
+    let solve_seconds = timer.total().as_secs_f64();
+    let mut xs = Vec::with_capacity(solved.len());
+    let mut results = Vec::with_capacity(solved.len());
+    for (x, r) in solved {
+        xs.push(x);
+        results.push(r);
+    }
+    (xs, results, solve_seconds)
 }
 
 /// Plain (unpreconditioned) CG on a Laplacian system, with the same

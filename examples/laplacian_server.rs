@@ -54,21 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, batch) in churn.batches().iter().enumerate() {
         // 1. The graph changes; the engine follows incrementally.
         let ops = churn_to_update_ops(batch);
-        for op in &ops {
-            match *op {
-                UpdateOp::Insert { u, v, weight } => {
-                    g_live.add_edge(u.into(), v.into(), weight)?;
-                }
-                UpdateOp::Delete { u, v } => {
-                    g_live.remove_edge(u.into(), v.into());
-                }
-                UpdateOp::Reweight { u, v, weight } => {
-                    if let Some(id) = g_live.edge_id(u.into(), v.into()) {
-                        g_live.set_weight(id, weight)?;
-                    }
-                }
-            }
-        }
+        ingrass_repro::core::replay_ops(&mut g_live, &ops)?;
         let update = engine.apply_batch(&ops, &UpdateConfig::default())?;
 
         // 2. Solve requests against the *current* graph: a small multi-RHS

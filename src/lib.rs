@@ -16,7 +16,7 @@
 //! | [`baselines`] | `ingrass-baselines` | GRASS-style from-scratch sparsifier, Random baseline |
 //! | [`metrics`] | `ingrass-metrics` | relative condition number, density, distortion stats |
 //! | [`par`] | `ingrass-par` | deterministic parallel primitives (`par_map`/`scope`, `INGRASS_THREADS`) |
-//! | [`solve`] | `ingrass-solve` | sparsifier-preconditioned Laplacian solve service (cached factorizations, multi-RHS PCG) |
+//! | [`solve`] | `ingrass-solve` | sparsifier-preconditioned Laplacian solve services (cached factorizations, multi-RHS PCG, concurrent snapshot serving) |
 //!
 //! The [`prelude`] pulls in the names used by virtually every program.
 //!
@@ -60,7 +60,7 @@ pub mod prelude {
     pub use crate::churn_to_update_ops;
     pub use ingrass::{
         DriftPolicy, InGrassEngine, InGrassError, LrdHierarchy, ResistanceBackend, SetupConfig,
-        UpdateConfig, UpdateLedger, UpdateOp,
+        SnapshotEngine, SnapshotReader, SparsifierSnapshot, UpdateConfig, UpdateLedger, UpdateOp,
     };
     pub use ingrass_baselines::{GrassConfig, GrassSparsifier, RandomSparsifier, TreeKind};
     pub use ingrass_gen::{
@@ -76,7 +76,10 @@ pub mod prelude {
     pub use ingrass_resistance::{
         ExactResistance, JlConfig, JlEmbedder, KrylovConfig, KrylovEmbedder, ResistanceEstimator,
     };
-    pub use ingrass_solve::{PrecondKind, PrecondStrategy, SolveConfig, SolveReport, SolveService};
+    pub use ingrass_solve::{
+        ConcurrentSolveService, PrecondKind, PrecondStrategy, SolveConfig, SolveReport,
+        SolveService,
+    };
 }
 
 /// The master seed the integration test suites derive their randomness

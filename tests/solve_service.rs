@@ -68,6 +68,124 @@ fn preconditioned_pcg_needs_at_most_a_third_of_cg_iterations() {
 }
 
 #[test]
+fn jacobi_and_tree_fallback_strategies_converge() {
+    // Only Cholesky was pinned by this suite before; the fallbacks must
+    // also converge on a real bench case (they are what `Auto` degrades to
+    // above the node ceiling). Cholesky stays the strongest of the three.
+    let seed = test_seed();
+    let (g, l_g, engine) = solve_fixture(TestCase::Fe4elt2, seed);
+    let n = g.num_nodes();
+    let rhss = vec![pair_rhs(n, 0, n - 1), pair_rhs(n, n / 3, (2 * n) / 3)];
+
+    let mut iterations = std::collections::HashMap::new();
+    for (strategy, expect) in [
+        (PrecondStrategy::Cholesky, PrecondKind::Cholesky),
+        (PrecondStrategy::Jacobi, PrecondKind::Jacobi),
+        (PrecondStrategy::Tree, PrecondKind::Tree),
+    ] {
+        let mut svc = SolveService::new(SolveConfig {
+            strategy,
+            ..Default::default()
+        });
+        let (_, report) = svc.solve_batch(&engine, &l_g, &rhss).expect("batch");
+        assert_eq!(report.precond, expect, "{strategy:?} resolved wrong");
+        assert!(
+            report.all_converged(),
+            "{strategy:?} failed to converge: {:?}",
+            report.results
+        );
+        if expect == PrecondKind::Cholesky {
+            assert!(report.factor_nnz > 0, "cholesky must report factor fill");
+        } else {
+            assert_eq!(report.factor_nnz, 0, "{strategy:?} carries no factor");
+        }
+        iterations.insert(expect, report.total_iterations());
+    }
+    // The exact factor dominates both fallbacks on iteration count.
+    assert!(iterations[&PrecondKind::Cholesky] <= iterations[&PrecondKind::Jacobi]);
+    assert!(iterations[&PrecondKind::Cholesky] <= iterations[&PrecondKind::Tree]);
+}
+
+#[test]
+fn auto_picks_the_documented_strategy_at_the_node_ceiling() {
+    // Documented: Cholesky while nodes ≤ ceiling, spanning tree above —
+    // pin both sides of the boundary exactly.
+    let seed = test_seed();
+    let (g, l_g, engine) = solve_fixture(TestCase::Fe4elt2, seed);
+    let n = g.num_nodes();
+    for (ceiling, expect) in [
+        (n, PrecondKind::Cholesky), // at the ceiling: still Cholesky
+        (n - 1, PrecondKind::Tree), // one past it: tree fallback
+        (usize::MAX, PrecondKind::Cholesky),
+        (1, PrecondKind::Tree),
+    ] {
+        let mut svc = SolveService::new(SolveConfig {
+            strategy: PrecondStrategy::Auto {
+                max_cholesky_nodes: ceiling,
+            },
+            ..Default::default()
+        });
+        let (_, report) = svc
+            .solve(&engine, &l_g, &pair_rhs(n, 1, n - 2))
+            .expect("auto solve");
+        assert_eq!(
+            report.precond, expect,
+            "Auto at ceiling {ceiling} with n = {n} resolved wrong"
+        );
+        assert!(report.all_converged());
+    }
+}
+
+#[test]
+fn engine_stats_stay_accessible_between_solves() {
+    // Regression for the borrow story: the service must borrow the engine
+    // *shared* and only for the duration of one call, so stats accessors
+    // and further update batches interleave freely with solves. (A service
+    // holding `&mut Engine` across a batch would fail to compile here.)
+    let seed = test_seed();
+    let (g, l_g, mut engine) = solve_fixture(TestCase::Fe4elt2, seed);
+    let n = g.num_nodes();
+    let mut svc = SolveService::new(SolveConfig::default());
+    let stream = InsertionStream::paper_default(&g, seed ^ 0x57ea);
+
+    let mut epochs = Vec::new();
+    for batch in stream.batches().iter().take(3) {
+        let (_, report) = svc
+            .solve(&engine, &l_g, &pair_rhs(n, 0, n - 1))
+            .expect("solve");
+        // Stats accessors between solves, while the service is live.
+        epochs.push((engine.epoch(), engine.resetups(), engine.version()));
+        assert_eq!(report.epoch, engine.epoch());
+        // And a mutation between solves: the service's borrow has ended.
+        engine
+            .insert_batch(batch, &UpdateConfig::default())
+            .expect("update between solves");
+    }
+    assert_eq!(epochs.len(), 3);
+    assert!(svc.stats().batches >= 3);
+
+    // The snapshot path narrows further: no engine borrow at all while a
+    // batch is served, so a held snapshot keeps serving across arbitrary
+    // engine mutations — including a re-setup.
+    let snapshot_engine = SnapshotEngine::from_engine(engine).expect("wrap");
+    let snap = snapshot_engine.snapshot();
+    let mut snapshot_engine = snapshot_engine;
+    snapshot_engine.resetup().expect("resetup");
+    let (_, report) = svc
+        .solve_snapshot_batch(&snap, &l_g, &[pair_rhs(n, 2, n / 2)])
+        .expect("snapshot solve");
+    assert!(report.all_converged());
+    assert!(!report.refactorized);
+    assert_eq!(report.epoch, snap.epoch());
+    assert_eq!(
+        snap.epoch() + 1,
+        snapshot_engine.engine().epoch(),
+        "snapshot kept its pre-resetup epoch tag"
+    );
+    assert_eq!(svc.stats().snapshot_batches, 1);
+}
+
+#[test]
 fn warm_solve_after_update_batch_skips_refactorization() {
     let seed = test_seed();
     // One representative case is enough for the cache lifecycle (the ratio
