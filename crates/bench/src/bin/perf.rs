@@ -504,6 +504,9 @@ fn run_serve_scenario(case: TestCase, fixture: &CaseFixture, args: &Args) -> Jso
 
     let mut g_live = DynGraph::from_graph(&fixture.g0);
     let mut publish = LatencySummary::new();
+    let mut publish_series: Vec<f64> = Vec::new();
+    let mut nnz_series: Vec<f64> = Vec::new();
+    let mut flops_series: Vec<f64> = Vec::new();
     let mut drains = LatencySummary::new();
     let mut update_wall = std::time::Duration::ZERO;
     let mut churn_ops = 0usize;
@@ -522,6 +525,9 @@ fn run_serve_scenario(case: TestCase, fixture: &CaseFixture, args: &Args) -> Jso
         update_wall += timer.lap();
         if let Some(p) = report.publish {
             publish.record(p.publish_seconds);
+            publish_series.push(p.publish_seconds);
+            nnz_series.push(p.factor_nnz as f64);
+            flops_series.push(p.factor_flops);
         }
 
         // Reader side: admission-batch requests against the snapshot just
@@ -554,6 +560,52 @@ fn run_serve_scenario(case: TestCase, fixture: &CaseFixture, args: &Args) -> Jso
     } else {
         f64::INFINITY
     };
+
+    // Flat-trend self-check: with incremental factor maintenance, per-epoch
+    // publish latency must not compound with the epoch count (the
+    // pre-incremental regime recomputed a fill-reducing ordering every
+    // publish, so each epoch cost hundreds of times its numeric work and
+    // the total climbed a cliff). The paper-shaped churn is insert-heavy,
+    // so the sparsifier — and any exact factor of it — genuinely grows
+    // across the run; latency proportional to the factor's numeric work
+    // (the flops estimate, which fill makes superlinear in nnz) is the
+    // physics of an exact method, not a maintenance regression. Compare
+    // the mean of the last quartile of the per-epoch series against the
+    // first, allow growth up to the factor-flops growth over the same
+    // window plus 50 % headroom, and add an absolute floor so sub-5 ms
+    // publishes never trip on scheduler noise.
+    let quartile_means = |series: &[f64]| {
+        let q = series.len() / 4;
+        let first = series[..q].iter().sum::<f64>() / q as f64;
+        let last = series[series.len() - q..].iter().sum::<f64>() / q as f64;
+        (first, last)
+    };
+    let trend_ratio = if publish_series.len() >= 8 {
+        let (first, last) = quartile_means(&publish_series);
+        let (flops_first, flops_last) = quartile_means(&flops_series);
+        let flops_ratio = if flops_first > 0.0 {
+            flops_last / flops_first
+        } else {
+            1.0
+        };
+        const TREND_FLOOR_S: f64 = 0.005;
+        assert!(
+            last <= first * flops_ratio.max(1.0) * 1.5 + TREND_FLOOR_S,
+            "{}: publish latency trends upward with epoch count beyond factor growth \
+             (first-quartile mean {:.4}s, last-quartile mean {:.4}s, factor-flops growth {:.2}x)",
+            case.name(),
+            first,
+            last,
+            flops_ratio,
+        );
+        if first > 0.0 {
+            last / first
+        } else {
+            1.0
+        }
+    } else {
+        1.0
+    };
     println!(
         "{:<14} serve   update {:>10} publish {:>10} (max {:>10}) solve {:>10}  {} solves, {:.0} op/s",
         case.name(),
@@ -579,6 +631,24 @@ fn run_serve_scenario(case: TestCase, fixture: &CaseFixture, args: &Args) -> Jso
         ("publish_wall_s", Json::Num(publish.total_seconds())),
         ("publish_mean_s", Json::Num(publish.mean_seconds())),
         ("publish_max_s", Json::Num(publish.max_seconds())),
+        (
+            "publish_series_s",
+            Json::Arr(publish_series.iter().map(|&s| Json::Num(s)).collect()),
+        ),
+        ("publish_trend_ratio", Json::Num(trend_ratio)),
+        (
+            "factor_nnz_series",
+            Json::Arr(nnz_series.iter().map(|&s| Json::Num(s)).collect()),
+        ),
+        (
+            "factor_flops_series",
+            Json::Arr(flops_series.iter().map(|&s| Json::Num(s)).collect()),
+        ),
+        ("factor_updates", Json::Num(engine.factor_updates() as f64)),
+        (
+            "factor_refactors",
+            Json::Num(engine.factor_refactors() as f64),
+        ),
         ("serve_solves", Json::Num(solves as f64)),
         ("serve_solve_wall_s", Json::Num(drains.total_seconds())),
         ("serve_drain_max_s", Json::Num(drains.max_seconds())),

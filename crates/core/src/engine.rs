@@ -54,6 +54,15 @@ pub struct InGrassEngine {
     probe_epoch: u64,
     setup_report: SetupReport,
     setup_cfg: SetupConfig,
+    /// Journal of sparsifier edge-weight changes `(u, v, Δw)` since the
+    /// last drain (or re-setup). These are the *actual* mutations of `h` —
+    /// after merge/redistribute/relink/surplus transformations — so a
+    /// cached Cholesky factor of `L_H` can be patched with one rank-1
+    /// update per entry instead of refactorizing
+    /// ([`crate::SparsifierPrecond::apply_edge_deltas`]). Compacted in
+    /// place when it outgrows the sparsifier; cleared by a re-setup, which
+    /// invalidates factors wholesale via the epoch.
+    deltas: Vec<(u32, u32, f64)>,
     ledger: UpdateLedger,
     updates_applied: usize,
     version: u64,
@@ -90,6 +99,7 @@ impl InGrassEngine {
             probe_epoch: 0,
             setup_report: built.report,
             setup_cfg: cfg.clone(),
+            deltas: Vec::new(),
             ledger,
             updates_applied: 0,
             version: 0,
@@ -181,6 +191,9 @@ impl InGrassEngine {
         self.connectivity = built.connectivity;
         self.h = built.h;
         self.surplus = vec![0.0; self.h.num_edges()];
+        // Stale weight deltas refer to the pre-resetup sparsifier; the
+        // epoch bump already tells factor caches to rebuild from scratch.
+        self.deltas.clear();
         self.setup_report = built.report;
         self.ledger
             .begin_epoch(self.h.total_weight(), &self.hierarchy);
@@ -394,6 +407,7 @@ impl InGrassEngine {
                                 .add_weight(e, share)
                                 .map_err(|err| InGrassError::Graph(err.to_string()))?;
                             self.add_surplus(e, share);
+                            self.note_delta(edge.u, edge.v, share);
                         }
                     }
                     return Ok(EdgeOutcome::Redistributed);
@@ -408,10 +422,12 @@ impl InGrassEngine {
         {
             // Clusters already connected: absorb the weight into the
             // existing representative edge.
+            let rep_edge = self.h.edge(rep).expect("connecting edge is live");
             self.h
                 .add_weight(rep, w)
                 .map_err(|err| InGrassError::Graph(err.to_string()))?;
             self.add_surplus(rep, w);
+            self.note_delta(rep_edge.u, rep_edge.v, w);
             return Ok(EdgeOutcome::Merged);
         }
 
@@ -420,6 +436,7 @@ impl InGrassEngine {
             .h
             .add_edge(u, v, w)
             .map_err(|err| InGrassError::Graph(err.to_string()))?;
+        self.note_delta(u, v, w);
         if created {
             self.connectivity
                 .register_edge(&self.hierarchy, &self.h, id, u, v);
@@ -429,6 +446,52 @@ impl InGrassEngine {
             self.add_surplus(id, w);
         }
         Ok(EdgeOutcome::Included)
+    }
+
+    /// Journals one sparsifier weight change (see the `deltas` field).
+    fn note_delta(&mut self, u: NodeId, v: NodeId, dw: f64) {
+        if dw == 0.0 {
+            return;
+        }
+        self.deltas.push((u.index() as u32, v.index() as u32, dw));
+        // Keep the journal proportional to the sparsifier even if nobody
+        // drains it: coalescing bounds it by the distinct pairs touched.
+        if self.deltas.len() > (4 * self.h.num_edges()).max(1024) {
+            self.deltas = Self::coalesce_deltas(std::mem::take(&mut self.deltas));
+        }
+    }
+
+    /// Sums journal entries per unordered endpoint pair (deterministic:
+    /// sorted by pair) and drops exact cancellations.
+    fn coalesce_deltas(mut raw: Vec<(u32, u32, f64)>) -> Vec<(u32, u32, f64)> {
+        for d in raw.iter_mut() {
+            if d.0 > d.1 {
+                std::mem::swap(&mut d.0, &mut d.1);
+            }
+        }
+        raw.sort_by_key(|&(u, v, _)| (u, v));
+        let mut out: Vec<(u32, u32, f64)> = Vec::with_capacity(raw.len());
+        for (u, v, dw) in raw {
+            match out.last_mut() {
+                Some(last) if last.0 == u && last.1 == v => last.2 += dw,
+                _ => out.push((u, v, dw)),
+            }
+        }
+        out.retain(|&(_, _, dw)| dw != 0.0);
+        out
+    }
+
+    /// Drains the journal of sparsifier edge-weight changes since the last
+    /// drain (or the last re-setup, which clears it): one `(u, v, Δw)` per
+    /// touched unordered endpoint pair, net of cancellations.
+    ///
+    /// This is how the serving layer keeps a live Cholesky factor patched:
+    /// each entry is a rank-1 update/downdate of `L_H`
+    /// ([`crate::SparsifierPrecond::apply_edge_deltas`]). Deltas journaled
+    /// in an epoch the consumer never saw are useless — always compare
+    /// [`InGrassEngine::epoch`] against the factor's before applying.
+    pub fn take_edge_deltas(&mut self) -> Vec<(u32, u32, f64)> {
+        Self::coalesce_deltas(std::mem::take(&mut self.deltas))
     }
 
     /// Records absorbed weight on an edge (see the `surplus` field).
@@ -465,6 +528,7 @@ impl InGrassEngine {
         let rhat = self.hierarchy.resistance_bound(u, v);
         let distortion = if rhat.is_finite() { w_own * rhat } else { 0.0 };
         self.h.remove_edge(u, v).expect("edge id was live");
+        self.note_delta(u, v, -w);
         if self.surplus.len() > id.index() {
             self.surplus[id.index()] = 0.0;
         }
@@ -495,6 +559,7 @@ impl InGrassEngine {
                 .h
                 .add_edge(u, v, relink_w)
                 .expect("relink endpoints are valid");
+            self.note_delta(u, v, relink_w);
             if created {
                 self.connectivity
                     .register_edge(&self.hierarchy, &self.h, id2, u, v);
@@ -575,6 +640,7 @@ impl InGrassEngine {
         self.h
             .set_weight(id, w + surplus)
             .map_err(|err| InGrassError::Graph(err.to_string()))?;
+        self.note_delta(u, v, (w + surplus) - old);
         let rhat = self.hierarchy.resistance_bound(u, v);
         let removed = (old_own - w).max(0.0);
         self.ledger
@@ -701,7 +767,7 @@ impl InGrassEngine {
     /// factor (disconnected or numerically degenerate sparsifier — cannot
     /// happen while the engine's connectivity invariant holds).
     pub fn preconditioner(&self) -> Result<crate::SparsifierPrecond> {
-        crate::SparsifierPrecond::build(&self.h, self.epoch())
+        crate::SparsifierPrecond::build(&self.h, self.epoch(), Some(&self.hierarchy))
     }
 }
 
@@ -720,6 +786,23 @@ mod tests {
             .unwrap()
             .graph;
         (g, h0)
+    }
+
+    #[test]
+    fn empty_start_engine_never_drifts_into_resetup() {
+        // Regression companion to the zero-baseline DriftTracker guard: an
+        // engine set up from a single-node (zero-weight) sparsifier must
+        // keep `should_resetup` decidable — batches apply cleanly and no
+        // NaN fraction can fire (or permanently suppress) a re-setup.
+        let h0 = Graph::from_edges(1, &[]).unwrap();
+        let cfg = SetupConfig::default().with_resistance(crate::ResistanceBackend::LocalOnly);
+        let mut engine = InGrassEngine::setup(&h0, &cfg).unwrap();
+        let drift = engine.ledger().drift().deleted_weight_fraction();
+        assert_eq!(drift, 0.0);
+        assert!(drift.is_finite());
+        let report = engine.apply_batch(&[], &UpdateConfig::default()).unwrap();
+        assert!(report.resetup.is_none());
+        assert_eq!(engine.epoch(), 0);
     }
 
     #[test]

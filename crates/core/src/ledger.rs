@@ -135,7 +135,7 @@ pub struct DriftTracker {
 impl DriftTracker {
     fn new(initial_weight: f64, nodes: usize) -> Self {
         DriftTracker {
-            initial_weight: initial_weight.max(f64::MIN_POSITIVE),
+            initial_weight: initial_weight.max(0.0),
             nodes,
             deleted_weight: 0.0,
             accumulated_distortion: 0.0,
@@ -152,8 +152,22 @@ impl DriftTracker {
     }
 
     /// Weight removed since setup as a fraction of the weight at setup.
+    ///
+    /// Guarded against a degenerate baseline: an engine set up from a
+    /// zero-weight/empty sparsifier (a single-node graph) has
+    /// `initial_weight == 0`, and an unguarded division would yield `NaN`
+    /// (or, with a clamped denominator, an absurdly huge fraction) — either
+    /// of which breaks `should_resetup` comparisons. With nothing deleted
+    /// the fraction is 0; weight somehow removed from a zero-weight start
+    /// counts as total loss (1.0 per unit, saturating the policy).
     pub fn deleted_weight_fraction(&self) -> f64 {
-        self.deleted_weight / self.initial_weight
+        if self.deleted_weight <= 0.0 {
+            0.0
+        } else if self.initial_weight <= 0.0 {
+            f64::MAX
+        } else {
+            self.deleted_weight / self.initial_weight
+        }
     }
 
     /// Accumulated `Σ w·R̂` over churn operations since setup.
@@ -381,6 +395,30 @@ mod tests {
         assert!((ledger.drift().deleted_weight_fraction() - 0.3).abs() < 1e-12);
         assert!((ledger.drift().accumulated_distortion() - 5.0).abs() < 1e-12);
         assert_eq!(ledger.drift().stale_ops(), 2);
+    }
+
+    #[test]
+    fn zero_weight_baseline_never_yields_nan_and_resetup_stays_decidable() {
+        // Regression: dividing by an (effectively) zero initial weight made
+        // the deleted-weight fraction NaN/absurd, so `should_resetup`
+        // either never fired or fired on the first vacuous deletion.
+        let h = tiny_hierarchy();
+        let ledger = UpdateLedger::new(0.0, &h);
+        let f = ledger.drift().deleted_weight_fraction();
+        assert_eq!(f, 0.0, "nothing deleted: fraction must be exactly 0");
+        assert!(f.is_finite());
+        assert!(ledger.should_resetup(&DriftPolicy::default()).is_none());
+
+        // Weight actually removed against a zero baseline counts as total
+        // loss and saturates the policy (finite, not NaN).
+        let mut ledger = UpdateLedger::new(0.0, &h);
+        ledger.note_delete(&h, 0.into(), 1.into(), 0.5, 1.0, false);
+        let f = ledger.drift().deleted_weight_fraction();
+        assert!(!f.is_nan() && f > 1.0);
+        assert_eq!(
+            ledger.should_resetup(&DriftPolicy::default()),
+            Some(ResetupReason::DeletedWeight)
+        );
     }
 
     #[test]

@@ -74,6 +74,7 @@ mod engine;
 mod error;
 mod ledger;
 mod lrd;
+mod ordering;
 mod precond;
 mod report;
 mod snapshot;
@@ -86,11 +87,12 @@ pub use ledger::{
     replay_ops, DriftTracker, ResetupReason, StalenessTracker, UpdateLedger, UpdateOp,
 };
 pub use lrd::{LrdHierarchy, LrdLevel};
+pub use ordering::lrd_nested_dissection_order;
 pub use precond::SparsifierPrecond;
 pub use report::{EdgeOutcome, PhaseTimer, SetupReport, UpdateReport};
 pub use snapshot::{
-    BatchPublishReport, PublishReport, ResistanceSummary, SnapshotEngine, SnapshotReader,
-    SparsifierSnapshot,
+    BatchPublishReport, FactorPolicy, PublishReport, ResistanceSummary, SnapshotEngine,
+    SnapshotReader, SparsifierSnapshot,
 };
 
 /// Crate-wide result alias.

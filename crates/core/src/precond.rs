@@ -11,9 +11,35 @@
 //! substantially).
 
 use crate::error::InGrassError;
+use crate::lrd::LrdHierarchy;
+use crate::ordering::lrd_nested_dissection_order;
 use crate::Result;
 use ingrass_graph::DynGraph;
-use ingrass_linalg::{CsrMatrix, Preconditioner, SparseCholesky};
+use ingrass_linalg::{CsrMatrix, LinalgError, Preconditioner, SparseCholesky};
+
+/// Grounded Laplacian straight from the edge list: node `ground`'s
+/// row/column dropped, the rest re-indexed by skipping it.
+fn grounded_laplacian(h: &DynGraph, ground: usize) -> CsrMatrix {
+    let n = h.num_nodes();
+    let shift = |x: usize| if x > ground { x - 1 } else { x };
+    let mut trip: Vec<(usize, usize, f64)> = Vec::with_capacity(4 * h.num_edges());
+    for (_, e) in h.edges_iter() {
+        let (u, v, w) = (e.u.index(), e.v.index(), e.weight);
+        let keep_u = u != ground;
+        let keep_v = v != ground;
+        if keep_u {
+            trip.push((shift(u), shift(u), w));
+        }
+        if keep_v {
+            trip.push((shift(v), shift(v), w));
+        }
+        if keep_u && keep_v {
+            trip.push((shift(u), shift(v), -w));
+            trip.push((shift(v), shift(u), -w));
+        }
+    }
+    CsrMatrix::from_triplets(n.saturating_sub(1), n.saturating_sub(1), &trip)
+}
 
 /// A grounded sparse Cholesky factor of a sparsifier Laplacian, usable as
 /// a [`Preconditioner`] for full-dimension Laplacian PCG.
@@ -33,6 +59,16 @@ pub struct SparsifierPrecond {
     n: usize,
     ground: usize,
     epoch: u64,
+    /// Stored factor entries at build time — the reference point for the
+    /// incremental-update fill budget (the live nnz grows as updates
+    /// splice fill in).
+    built_nnz: usize,
+    /// Stored factor entries when the elimination *ordering* was last
+    /// computed. Numeric-only rebuilds ([`Self::rebuild_numeric`]) reuse
+    /// the ordering and carry this forward; once a rebuilt factor under
+    /// the cached ordering outgrows it by the fill-growth factor the
+    /// ordering is stale and the next rebuild recomputes it.
+    order_base_nnz: usize,
     chol: SparseCholesky,
     /// Fused permutation: `gperm[k]` is the *original node index* of the
     /// factor's pivot `k` (the Cholesky ordering composed with the
@@ -49,32 +85,95 @@ impl SparsifierPrecond {
     /// [`InGrassError::BadSparsifier`] if the grounded Laplacian is not
     /// positive definite (the sparsifier is disconnected or numerically
     /// degenerate).
-    pub(crate) fn build(h: &DynGraph, epoch: u64) -> Result<Self> {
+    /// With a hierarchy, the elimination ordering is
+    /// [`lrd_nested_dissection_order`] (the LRD cluster tree as a nested
+    /// dissection tree); without one it falls back to the AMD-lite
+    /// minimum-degree ordering.
+    pub(crate) fn build(
+        h: &DynGraph,
+        epoch: u64,
+        hierarchy: Option<&LrdHierarchy>,
+    ) -> Result<Self> {
         let n = h.num_nodes();
         let ground = 0usize;
-        // Grounded Laplacian straight from the edge list: node `ground`'s
-        // row/column dropped, the rest re-indexed by skipping it.
-        let shift = |x: usize| if x > ground { x - 1 } else { x };
-        let mut trip: Vec<(usize, usize, f64)> = Vec::with_capacity(4 * h.num_edges());
-        for (_, e) in h.edges_iter() {
-            let (u, v, w) = (e.u.index(), e.v.index(), e.weight);
-            let keep_u = u != ground;
-            let keep_v = v != ground;
-            if keep_u {
-                trip.push((shift(u), shift(u), w));
+        let grounded = grounded_laplacian(h, ground);
+        let chol = match hierarchy.filter(|hier| hier.num_nodes() == n && n > 1) {
+            Some(hier) => {
+                let order = lrd_nested_dissection_order(
+                    hier,
+                    h.edges_iter().map(|(_, e)| (e.u.index(), e.v.index())),
+                    Some(ground),
+                );
+                SparseCholesky::factor_with_order(&grounded, &order)
             }
-            if keep_v {
-                trip.push((shift(v), shift(v), w));
-            }
-            if keep_u && keep_v {
-                trip.push((shift(u), shift(v), -w));
-                trip.push((shift(v), shift(u), -w));
-            }
+            None => SparseCholesky::factor(&grounded),
         }
-        let grounded = CsrMatrix::from_triplets(n.saturating_sub(1), n.saturating_sub(1), &trip);
-        let chol = SparseCholesky::factor(&grounded).map_err(|e| {
+        .map_err(|e| {
             InGrassError::BadSparsifier(format!("sparsifier Laplacian is not SPD grounded: {e}"))
         })?;
+        Ok(Self::from_factor(n, ground, epoch, chol, None))
+    }
+
+    /// Refactors the given sparsifier **numerically only**, reusing this
+    /// factor's elimination ordering instead of recomputing one.
+    ///
+    /// Computing a fill-reducing ordering is the dominant cost of a full
+    /// rebuild — far more than the numeric factorization it feeds — and
+    /// within one engine epoch the sparsifier's shape drifts slowly, so
+    /// the cached ordering stays near-optimal. This is the publish path's
+    /// recovery from a fill-budget overrun and its fast path for batches
+    /// too large to patch profitably; the `order_base_nnz` reference is
+    /// carried forward so staleness ([`Self::order_is_fresh`]) accumulates
+    /// across numeric rebuilds until a full rebuild resets it.
+    ///
+    /// # Errors
+    /// [`InGrassError::BadSparsifier`] if the node count changed since the
+    /// ordering was computed or the grounded Laplacian is not SPD.
+    pub(crate) fn rebuild_numeric(&self, h: &DynGraph, epoch: u64) -> Result<Self> {
+        let n = h.num_nodes();
+        if n != self.n {
+            return Err(InGrassError::BadSparsifier(format!(
+                "cached ordering is for {} nodes, sparsifier has {n}",
+                self.n
+            )));
+        }
+        let ground = self.ground;
+        let grounded = grounded_laplacian(h, ground);
+        let order: Vec<usize> = self.chol.ordering().iter().map(|&p| p as usize).collect();
+        let chol = SparseCholesky::factor_with_order(&grounded, &order).map_err(|e| {
+            InGrassError::BadSparsifier(format!("sparsifier Laplacian is not SPD grounded: {e}"))
+        })?;
+        Ok(Self::from_factor(
+            n,
+            ground,
+            epoch,
+            chol,
+            Some(self.order_base_nnz),
+        ))
+    }
+
+    /// Whether the cached elimination ordering is still worth reusing: the
+    /// factor built under it has not outgrown the factor size at ordering
+    /// time by more than `growth`. Once this turns `false`, the next
+    /// rebuild should recompute the ordering (a full
+    /// [`crate::InGrassEngine::preconditioner`] build).
+    pub(crate) fn order_is_fresh(&self, growth: f64) -> bool {
+        (self.built_nnz as f64) <= (self.order_base_nnz as f64) * growth.max(1.0)
+    }
+
+    /// Nodes of the sparsifier this factor was built for (full dimension,
+    /// including the grounded node).
+    pub(crate) fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn from_factor(
+        n: usize,
+        ground: usize,
+        epoch: u64,
+        chol: SparseCholesky,
+        order_base_nnz: Option<usize>,
+    ) -> Self {
         let gperm = chol
             .ordering()
             .iter()
@@ -83,13 +182,75 @@ impl SparsifierPrecond {
                 (if g >= ground { g + 1 } else { g }) as u32
             })
             .collect();
-        Ok(SparsifierPrecond {
+        let built_nnz = chol.nnz();
+        SparsifierPrecond {
             n,
             ground,
             epoch,
+            built_nnz,
+            order_base_nnz: order_base_nnz.unwrap_or(built_nnz),
             chol,
             gperm,
-        })
+        }
+    }
+
+    /// Patches the factor in place with a batch of sparsifier edge-weight
+    /// deltas `(u, v, Δw)` in original node indices: each delta is one
+    /// rank-1 update (`Δw > 0`) or downdate (`Δw < 0`) of the grounded
+    /// Laplacian along `√|Δw|·(e_u − e_v)`.
+    ///
+    /// `max_nnz` bounds the factor's stored entries (fill budget). On any
+    /// error the factor must be considered unusable (a downdate can fail
+    /// midway through the batch) and the caller should refactorize — which
+    /// is also the recovery for [`LinalgError::FillBudget`].
+    ///
+    /// Updates run before downdates: every intermediate matrix then
+    /// dominates either the old or the new Laplacian in the PSD order, so
+    /// a batch whose *net* effect keeps the sparsifier connected (the
+    /// engine's invariant) can never lose positive definiteness midway —
+    /// e.g. deleting a bridge in the same batch that inserts its
+    /// replacement path.
+    pub(crate) fn apply_edge_deltas(
+        &mut self,
+        deltas: &[(u32, u32, f64)],
+        max_nnz: usize,
+    ) -> std::result::Result<(), LinalgError> {
+        if self.n <= 1 {
+            return Ok(());
+        }
+        let ground = self.ground;
+        let shift = |x: usize| if x > ground { x - 1 } else { x };
+        let mut x: Vec<(usize, f64)> = Vec::with_capacity(2);
+        let ordered = deltas
+            .iter()
+            .filter(|&&(_, _, dw)| dw > 0.0)
+            .chain(deltas.iter().filter(|&&(_, _, dw)| dw < 0.0));
+        for &(u, v, dw) in ordered {
+            if dw == 0.0 || u == v {
+                continue;
+            }
+            let (u, v) = (u as usize, v as usize);
+            let root = dw.abs().sqrt();
+            x.clear();
+            if u != ground {
+                x.push((shift(u), root));
+            }
+            if v != ground {
+                x.push((shift(v), -root));
+            }
+            if dw > 0.0 {
+                self.chol.cholupdate(&x, Some(max_nnz))?;
+            } else {
+                self.chol.choldowndate(&x, Some(max_nnz))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Stored factor entries at the last (re)build — the base the fill
+    /// budget for incremental updates is computed from.
+    pub(crate) fn built_nnz(&self) -> usize {
+        self.built_nnz
     }
 
     /// The engine epoch (re-setup count) the factor was built at.
@@ -100,6 +261,12 @@ impl SparsifierPrecond {
     /// Stored entries of the Cholesky factor (fill measure).
     pub fn factor_nnz(&self) -> usize {
         self.chol.nnz()
+    }
+
+    /// Estimated numeric-refactorization work of the factor's pattern
+    /// ([`ingrass_linalg::SparseCholesky::flops_estimate`]).
+    pub fn factor_flops(&self) -> f64 {
+        self.chol.flops_estimate()
     }
 
     /// The node whose row/column was grounded out.

@@ -110,15 +110,18 @@ fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
 
 impl SparsifierSnapshot {
     /// Builds a snapshot of the engine's current state. `hierarchy` must be
-    /// a clone of the engine's hierarchy at its current epoch.
+    /// a clone of the engine's hierarchy at its current epoch, and
+    /// `precond` a factor consistent with the engine's current sparsifier
+    /// (the [`SnapshotEngine`] hands in a clone of the live factor it
+    /// maintains incrementally).
     fn capture(
         engine: &InGrassEngine,
         hierarchy: Arc<LrdHierarchy>,
         sequence: u64,
+        precond: SparsifierPrecond,
     ) -> Result<SparsifierSnapshot> {
         let graph = engine.sparsifier_graph();
         let laplacian = Arc::new(graph.laplacian());
-        let precond = engine.preconditioner()?;
 
         let mut total_weight = 0.0;
         let mut total_distortion = 0.0;
@@ -281,13 +284,89 @@ pub struct PublishReport {
     /// Publish sequence number ([`SparsifierSnapshot::sequence`]).
     pub sequence: u64,
     /// Wall seconds spent building the snapshot (graph freeze + Laplacian
-    /// assembly + grounded Cholesky + resistance summary) — the
+    /// assembly + factor maintenance + resistance summary) — the
     /// publish latency the `serve/<case>` perf scenarios track.
     pub publish_seconds: f64,
     /// Stored entries of the snapshot's Cholesky factor.
     pub factor_nnz: usize,
+    /// Estimated numeric-refactorization work of the factor's pattern
+    /// (`Σ` column-nnz²) — the cost model the `serve/<case>` flat-trend
+    /// gate normalizes publish latency by.
+    pub factor_flops: f64,
     /// Live sparsifier edges in the snapshot.
     pub edges: usize,
+    /// Whether this publish patched the live factor with rank-1
+    /// up/downdates (`true`) instead of refactorizing from scratch.
+    pub factor_updated: bool,
+    /// Cumulative incremental factor patches over the engine's lifetime.
+    pub factor_updates: u64,
+    /// Cumulative factor rebuilds over the engine's lifetime (includes the
+    /// initial build at setup, epoch changes, fill-budget and numerical
+    /// fallbacks, and the periodic drift-bounding rebuild).
+    pub factor_refactors: u64,
+}
+
+/// Policy for maintaining the live Cholesky factor across publishes.
+///
+/// Publishes are served by the cheapest of three maintenance tiers:
+///
+/// 1. **Patch** — small batches apply one rank-1 update/downdate per net
+///    edge-weight delta to the live factor. Cost scales with the batch,
+///    not the graph.
+/// 2. **Numeric refactorization** — batches too large to patch profitably
+///    (see [`FactorPolicy::max_patch_fraction`]), fill-budget overruns,
+///    downdate breakdowns, and the drift backstop refactor numerically
+///    under the *cached* elimination ordering. Computing a fill-reducing
+///    ordering dominates a full rebuild, and within one epoch the
+///    sparsifier's shape drifts slowly, so reusing the ordering keeps this
+///    tier cheap and its cost flat across epochs.
+/// 3. **Full rebuild** — ordering recompute plus numeric factorization,
+///    only when the engine epoch moves (drift re-setup replaced the
+///    hierarchy), the node count changed, or the cached ordering has gone
+///    stale (factor fill outgrew `order_staleness ×` its size at ordering
+///    time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FactorPolicy {
+    /// Patch the live factor incrementally when possible; `false` restores
+    /// the refactorize-every-publish behaviour.
+    pub incremental: bool,
+    /// Fill budget as a growth factor: a patch that would push the
+    /// factor's stored entries past `fill_growth ×` its nnz at the last
+    /// rebuild falls back to refactorization.
+    pub fill_growth: f64,
+    /// Hard cap on consecutive incremental publishes before a rebuild is
+    /// forced, bounding rounding drift in the patched factor.
+    pub max_updates_between_refactors: u64,
+    /// Patch only batches whose delta count is at most this fraction of
+    /// the factor's dimension; larger batches go straight to a numeric
+    /// refactorization under the cached ordering. Each rank-1 patch walks
+    /// the column closure of its edge (worst case most of the factor) and
+    /// leaves behind fill the cached ordering never planned for, so
+    /// patching a bulk batch is both slower than one numeric rebuild *and*
+    /// degrades every later publish. The default keeps the patch tier for
+    /// the near-single-op batches it is built for (interactive edits,
+    /// drift probes) and routes bulk churn to the numeric tier.
+    pub max_patch_fraction: f64,
+    /// Staleness bound for the cached elimination ordering: once a
+    /// numeric rebuild's factor outgrows `order_staleness ×` the factor
+    /// size at ordering time, the next rebuild recomputes the ordering.
+    /// Deliberately generous — an ordering recompute costs orders of
+    /// magnitude more than the extra fill it removes, so it should fire
+    /// only when fill has genuinely blown up (epoch moves refresh the
+    /// ordering anyway).
+    pub order_staleness: f64,
+}
+
+impl Default for FactorPolicy {
+    fn default() -> Self {
+        FactorPolicy {
+            incremental: true,
+            fill_growth: 2.0,
+            max_updates_between_refactors: 256,
+            max_patch_fraction: 0.002,
+            order_staleness: 8.0,
+        }
+    }
 }
 
 /// What one [`SnapshotEngine::apply_batch`] did: the engine's own update
@@ -387,6 +466,16 @@ pub struct SnapshotEngine {
     hierarchy_epoch: u64,
     cell: Arc<SnapshotCell>,
     sequence: u64,
+    /// The live factor, patched in place across ordinary publishes and
+    /// cloned into every snapshot; rebuilt per [`FactorPolicy`].
+    factor: SparsifierPrecond,
+    /// `false` after a failed patch left `factor` numerically unusable —
+    /// the next publish must rebuild regardless of policy.
+    factor_valid: bool,
+    factor_policy: FactorPolicy,
+    updates_since_refactor: u64,
+    factor_updates: u64,
+    factor_refactors: u64,
 }
 
 impl SnapshotEngine {
@@ -404,10 +493,14 @@ impl SnapshotEngine {
     /// # Errors
     /// Propagates preconditioner extraction failure (cannot happen while
     /// the engine's connectivity invariant holds).
-    pub fn from_engine(engine: InGrassEngine) -> Result<Self> {
+    pub fn from_engine(mut engine: InGrassEngine) -> Result<Self> {
         let hierarchy = Arc::new(engine.hierarchy().clone());
         let hierarchy_epoch = engine.epoch();
-        let snap = SparsifierSnapshot::capture(&engine, Arc::clone(&hierarchy), 1)?;
+        // Deltas journaled before the wrap describe mutations the fresh
+        // factor build below already sees — drop them.
+        let _ = engine.take_edge_deltas();
+        let factor = engine.preconditioner()?;
+        let snap = SparsifierSnapshot::capture(&engine, Arc::clone(&hierarchy), 1, factor.clone())?;
         Ok(SnapshotEngine {
             engine,
             hierarchy,
@@ -416,7 +509,36 @@ impl SnapshotEngine {
                 current: RwLock::new(Arc::new(snap)),
             }),
             sequence: 1,
+            factor,
+            factor_valid: true,
+            factor_policy: FactorPolicy::default(),
+            updates_since_refactor: 0,
+            factor_updates: 0,
+            factor_refactors: 1,
         })
+    }
+
+    /// Replaces the [`FactorPolicy`] governing incremental maintenance of
+    /// the live factor (builder form).
+    pub fn with_factor_policy(mut self, policy: FactorPolicy) -> Self {
+        self.set_factor_policy(policy);
+        self
+    }
+
+    /// Replaces the [`FactorPolicy`] governing incremental maintenance of
+    /// the live factor.
+    pub fn set_factor_policy(&mut self, policy: FactorPolicy) {
+        self.factor_policy = policy;
+    }
+
+    /// Publishes that patched the live factor incrementally so far.
+    pub fn factor_updates(&self) -> u64 {
+        self.factor_updates
+    }
+
+    /// Factor rebuilds so far (≥ 1: setup builds the first factor).
+    pub fn factor_refactors(&self) -> u64 {
+        self.factor_refactors
     }
 
     /// A new reader subscription. Clone freely; hand to other threads.
@@ -483,13 +605,19 @@ impl SnapshotEngine {
     /// unaffected; the previous snapshot is freed once its last holder
     /// drops it.
     ///
-    /// Publishing is the expensive half of the split (it refactors the
-    /// sparsifier Laplacian); [`SnapshotEngine::apply_batch`] calls it
-    /// once per state-changing batch, which is also the granularity at
-    /// which a factor-exact snapshot is even possible.
+    /// The expensive half of the split is maintaining the factor, and this
+    /// is where the incremental tentpole pays off: ordinary batches drain
+    /// the engine's edge-delta journal and patch the live factor with one
+    /// rank-1 update/downdate per net delta (additions first, so every
+    /// intermediate matrix stays SPD). Batches too large to patch
+    /// profitably, fill-budget overruns, downdate breakdowns, and the
+    /// drift backstop refactor *numerically* under the cached elimination
+    /// ordering; only an epoch move (or a stale ordering) pays for a full
+    /// rebuild with an ordering recompute — see [`FactorPolicy`]. The
+    /// snapshot then shares a clone of the maintained factor.
     ///
     /// # Errors
-    /// Preconditioner extraction failure (disconnected or degenerate
+    /// Preconditioner rebuild failure (disconnected or degenerate
     /// sparsifier — cannot happen while engine invariants hold).
     pub fn publish(&mut self) -> Result<PublishReport> {
         let timer = PhaseTimer::start();
@@ -497,12 +625,56 @@ impl SnapshotEngine {
             self.hierarchy = Arc::new(self.engine.hierarchy().clone());
             self.hierarchy_epoch = self.engine.epoch();
         }
+        let deltas = self.engine.take_edge_deltas();
+        let policy = self.factor_policy;
+        let same_epoch = self.factor.epoch() == self.engine.epoch();
+        let mut factor_updated = false;
+        if policy.incremental
+            && self.factor_valid
+            && same_epoch
+            && self.updates_since_refactor < policy.max_updates_between_refactors
+            && (deltas.len() as f64) <= policy.max_patch_fraction * self.factor.num_nodes() as f64
+        {
+            let budget = ((self.factor.built_nnz() as f64) * policy.fill_growth.max(1.0)).ceil();
+            match self.factor.apply_edge_deltas(&deltas, budget as usize) {
+                Ok(()) => factor_updated = true,
+                // A failed patch may have applied a prefix of the batch:
+                // the factor is unusable until the rebuild below succeeds.
+                Err(_) => self.factor_valid = false,
+            }
+        }
+        if factor_updated {
+            self.factor_updates += 1;
+            self.updates_since_refactor += 1;
+        } else {
+            // Rebuild tier: reuse the cached elimination ordering (numeric
+            // refactorization only) while the epoch stands, the node count
+            // matches, and the ordering is still fresh; recompute the
+            // ordering otherwise. A failed cached-order rebuild (e.g. the
+            // sparsifier changed shape more than expected) falls through
+            // to the full build rather than erroring the publish.
+            let reuse = same_epoch
+                && self.factor.num_nodes() == self.engine.sparsifier().num_nodes()
+                && self.factor.order_is_fresh(policy.order_staleness);
+            let rebuilt = if reuse {
+                self.factor
+                    .rebuild_numeric(self.engine.sparsifier(), self.engine.epoch())
+                    .or_else(|_| self.engine.preconditioner())
+            } else {
+                self.engine.preconditioner()
+            };
+            self.factor = rebuilt?;
+            self.factor_valid = true;
+            self.factor_refactors += 1;
+            self.updates_since_refactor = 0;
+        }
         // The counter moves only on success: a failed capture must leave
         // publishes()/sequence untouched (no skipped sequence numbers).
         let snap = Arc::new(SparsifierSnapshot::capture(
             &self.engine,
             Arc::clone(&self.hierarchy),
             self.sequence + 1,
+            self.factor.clone(),
         )?);
         self.sequence += 1;
         let report = PublishReport {
@@ -511,7 +683,11 @@ impl SnapshotEngine {
             sequence: snap.sequence(),
             publish_seconds: timer.total().as_secs_f64(),
             factor_nnz: snap.preconditioner().factor_nnz(),
+            factor_flops: snap.preconditioner().factor_flops(),
             edges: snap.resistance_summary().edges,
+            factor_updated,
+            factor_updates: self.factor_updates,
+            factor_refactors: self.factor_refactors,
         };
         self.cell.store(snap);
         Ok(report)

@@ -1,0 +1,311 @@
+//! Incremental factor maintenance, pinned end to end: a snapshot factor
+//! patched with rank-1 up/downdates must behave exactly like a factor
+//! rebuilt from scratch — across fill-budget fallbacks, the refactor
+//! backstop, and drift-triggered re-setups — and the LRD nested-dissection
+//! ordering that makes the patches cheap must actually produce less fill
+//! than the AMD-lite minimum-degree default on a churned Delaunay mesh.
+
+use ingrass::{
+    lrd_nested_dissection_order, DriftPolicy, FactorPolicy, SetupConfig, SnapshotEngine,
+    UpdateConfig, UpdateOp,
+};
+use ingrass_gen::{delaunay, grid_2d, ChurnConfig, ChurnStream, DelaunayConfig, WeightModel};
+use ingrass_graph::Graph;
+use ingrass_linalg::{CsrMatrix, Preconditioner, SparseCholesky};
+use proptest::prelude::*;
+
+/// The patched snapshot factor and a from-scratch rebuild are both exact
+/// solves of the same grounded sparsifier Laplacian, so their
+/// `Preconditioner::apply` must agree on any right-hand side up to
+/// rounding — regardless of elimination ordering or update history.
+fn assert_factor_parity(engine: &SnapshotEngine, context: &str) {
+    let snap = engine.snapshot();
+    let fresh = engine.engine().preconditioner().expect("fresh factor");
+    let n = snap.num_nodes();
+    let mut r = vec![0.0; n];
+    // A deterministic, dense-ish probe: e_1 − e_{n−1} plus a ramp.
+    for (i, ri) in r.iter_mut().enumerate() {
+        *ri = ((i * 7 + 3) % 11) as f64 / 11.0 - 0.5;
+    }
+    r[1] += 1.0;
+    r[n - 1] -= 1.0;
+    let mut z_patched = vec![0.0; n];
+    let mut z_fresh = vec![0.0; n];
+    snap.preconditioner().apply(&r, &mut z_patched);
+    fresh.apply(&r, &mut z_fresh);
+    let scale = z_fresh.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
+    let err = z_patched
+        .iter()
+        .zip(&z_fresh)
+        .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()));
+    assert!(
+        err <= 1e-7 * scale,
+        "{context}: patched factor drifted from refactorization \
+         (max abs diff {err:.3e}, scale {scale:.3e})"
+    );
+}
+
+/// Turns a proptest pick into an update op against the *live* sparsifier:
+/// deletions and reweights index into the current edge list so they always
+/// name a real edge, insertions draw fresh endpoints.
+fn pick_to_op(
+    engine: &SnapshotEngine,
+    kind: usize,
+    a: usize,
+    b: usize,
+    w: f64,
+) -> Option<UpdateOp> {
+    let h = engine.engine().sparsifier();
+    let n = h.num_nodes();
+    match kind {
+        0 => {
+            let (u, v) = (a % n, b % n);
+            if u == v {
+                None
+            } else {
+                Some(UpdateOp::Insert { u, v, weight: w })
+            }
+        }
+        1 => {
+            let edges: Vec<_> = h.edges_iter().collect();
+            let (_, e) = edges[a % edges.len()];
+            Some(UpdateOp::Reweight {
+                u: e.u.index(),
+                v: e.v.index(),
+                weight: w,
+            })
+        }
+        _ => {
+            let edges: Vec<_> = h.edges_iter().collect();
+            let (_, e) = edges[a % edges.len()];
+            Some(UpdateOp::Delete {
+                u: e.u.index(),
+                v: e.v.index(),
+            })
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random mixed batches through the snapshot engine: after every
+    /// publish the served (patched) factor matches a from-scratch
+    /// refactorization — under the default policy *and* under a
+    /// pathological one (no fill headroom, refactor backstop every other
+    /// publish) that forces the fallback paths to fire.
+    #[test]
+    fn patched_factor_matches_refactorization_at_every_publish(
+        picks in proptest::collection::vec(
+            (0usize..3, 0usize..1024, 0usize..1024, 0.2f64..2.0),
+            4..28,
+        ),
+        batch_len in 2usize..6,
+    ) {
+        let g = grid_2d(8, 8, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 7);
+        let policies = [
+            // Patch-always: every batch goes through the rank-1 path so
+            // parity covers the patched factor at every publish. The cap
+            // is per-delta, not per-op — a redistributed insert fans out
+            // to every intra-cluster edge — so leave generous headroom.
+            FactorPolicy {
+                max_patch_fraction: 16.0,
+                ..FactorPolicy::default()
+            },
+            // No fill headroom and an aggressive backstop: patches that
+            // need any fill fall back to refactorization, and even clean
+            // runs refactor every other publish.
+            FactorPolicy {
+                incremental: true,
+                fill_growth: 1.0,
+                max_updates_between_refactors: 2,
+                ..FactorPolicy::default()
+            },
+        ];
+        for (pi, policy) in policies.iter().enumerate() {
+            let mut engine = SnapshotEngine::setup(&g, &SetupConfig::default())
+                .unwrap()
+                .with_factor_policy(*policy);
+            let ucfg = UpdateConfig::default();
+            for chunk in picks.chunks(batch_len) {
+                let ops: Vec<UpdateOp> = chunk
+                    .iter()
+                    .filter_map(|&(k, a, b, w)| pick_to_op(&engine, k, a, b, w))
+                    .collect();
+                if ops.is_empty() {
+                    continue;
+                }
+                engine.apply_batch(&ops, &ucfg).unwrap();
+                assert_factor_parity(&engine, &format!("policy {pi}"));
+            }
+            // Both maintenance paths stay live: something was published,
+            // and the counters account for every publish.
+            prop_assert!(engine.factor_updates() + engine.factor_refactors() >= 1);
+        }
+    }
+}
+
+/// Crossing a drift-triggered re-setup (epoch move) must refactor — and
+/// the very next ordinary batch must resume patching, still in parity.
+#[test]
+fn parity_holds_across_a_drift_resetup_boundary() {
+    let g = grid_2d(10, 10, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 3);
+    let cfg = SetupConfig::default().with_drift(DriftPolicy {
+        max_deleted_weight_fraction: 0.02,
+        ..DriftPolicy::default()
+    });
+    // Generous patch cap so the single-op batches below always take the
+    // rank-1 path (redistribution can fan one op out past the default).
+    let mut engine = SnapshotEngine::setup(&g, &cfg)
+        .unwrap()
+        .with_factor_policy(FactorPolicy {
+            max_patch_fraction: 16.0,
+            ..FactorPolicy::default()
+        });
+    let ucfg = UpdateConfig::default();
+
+    // An ordinary batch patches in place.
+    let r1 = engine
+        .apply_batch(
+            &[UpdateOp::Insert {
+                u: 0,
+                v: 55,
+                weight: 1.0,
+            }],
+            &ucfg,
+        )
+        .unwrap();
+    let p1 = r1.publish.expect("insert publishes");
+    assert!(p1.factor_updated, "ordinary batch should patch the factor");
+    assert_factor_parity(&engine, "pre-resetup patch");
+
+    // Delete non-tree weight until the 2% drift threshold trips.
+    let mut resetup_seen = false;
+    for _ in 0..40 {
+        let edges: Vec<(usize, usize)> = engine
+            .engine()
+            .sparsifier()
+            .edges_iter()
+            .map(|(_, e)| (e.u.index(), e.v.index()))
+            .collect();
+        // Deleting a fixed-position edge each round; bridges re-link, so
+        // connectivity (and factorability) is preserved by the engine.
+        let (u, v) = edges[edges.len() / 2];
+        let rep = engine
+            .apply_batch(&[UpdateOp::Delete { u, v }], &ucfg)
+            .unwrap();
+        assert_factor_parity(&engine, "churn toward resetup");
+        if rep.update.resetup.is_some() {
+            let pub_report = rep.publish.expect("resetup publishes");
+            assert!(
+                !pub_report.factor_updated,
+                "an epoch move must refactor, not patch"
+            );
+            resetup_seen = true;
+            break;
+        }
+    }
+    assert!(resetup_seen, "drift policy at 2% never tripped");
+
+    // Post-resetup: ordinary batches patch again, against the new epoch.
+    let refactors_before = engine.factor_refactors();
+    let r2 = engine
+        .apply_batch(
+            &[UpdateOp::Insert {
+                u: 1,
+                v: 77,
+                weight: 0.8,
+            }],
+            &ucfg,
+        )
+        .unwrap();
+    let p2 = r2.publish.expect("insert publishes");
+    assert!(p2.factor_updated, "patching should resume after re-setup");
+    assert_eq!(engine.factor_refactors(), refactors_before);
+    assert_factor_parity(&engine, "post-resetup patch");
+}
+
+/// Grounded Laplacian (node 0 dropped) of a graph, as the solver builds it.
+fn grounded_laplacian(g: &Graph) -> CsrMatrix {
+    let n = g.num_nodes();
+    let shift = |x: usize| x - 1;
+    let mut trip = Vec::with_capacity(4 * g.num_edges());
+    for e in g.edges() {
+        let (u, v, w) = (e.u.index(), e.v.index(), e.weight);
+        if u != 0 {
+            trip.push((shift(u), shift(u), w));
+        }
+        if v != 0 {
+            trip.push((shift(v), shift(v), w));
+        }
+        if u != 0 && v != 0 {
+            trip.push((shift(u), shift(v), -w));
+            trip.push((shift(v), shift(u), -w));
+        }
+    }
+    CsrMatrix::from_triplets(n - 1, n - 1, &trip)
+}
+
+/// The point of deriving the elimination ordering from the LRD cluster
+/// tree: on a churned Delaunay graph — where the update stream has laced
+/// the mesh with long random chords — the hierarchy-guided ordering must
+/// give a *valid permutation* and strictly less fill `nnz(L)` than the
+/// AMD-lite minimum-degree ordering the factorization defaults to.
+/// Engine-free on purpose: the hierarchy is built directly from the
+/// churned graph with r = 1/w, so the test pins the ordering itself, not
+/// the sparsification pipeline around it.
+#[test]
+fn lrd_nested_dissection_beats_min_degree_on_churned_delaunay_fill() {
+    use ingrass::LrdHierarchy;
+
+    let g = delaunay(&DelaunayConfig {
+        points: 1000,
+        weights: WeightModel::Uniform { lo: 0.5, hi: 2.0 },
+        seed: 42,
+        ..DelaunayConfig::default()
+    })
+    .expect("delaunay generation");
+    // The serve-benchmark's churn mix, replayed straight onto the mesh:
+    // inserts are mostly non-local, so the surviving graph carries the
+    // cross-cluster chords that inflate min-degree fill.
+    let churn = ChurnStream::generate(
+        &g,
+        &ChurnConfig {
+            batches: 4,
+            ops_per_batch: 200,
+            delete_fraction: 0.25,
+            reweight_fraction: 0.15,
+            seed: 42,
+            ..ChurnConfig::default()
+        },
+    );
+    let h = churn.apply_to(&g).expect("churn replay");
+
+    let resistances: Vec<f64> = h.edges().iter().map(|e| 1.0 / e.weight).collect();
+    let hierarchy = LrdHierarchy::build(&h, &resistances, None, 4.0, 64).expect("hierarchy");
+    let order = lrd_nested_dissection_order(
+        &hierarchy,
+        h.edges().iter().map(|e| (e.u.index(), e.v.index())),
+        Some(0),
+    );
+
+    // Validity: a permutation of the grounded index range.
+    let m = h.num_nodes() - 1;
+    assert_eq!(order.len(), m);
+    let mut seen = vec![false; m];
+    for &p in &order {
+        assert!(p < m, "ordering index {p} out of range {m}");
+        assert!(!seen[p], "ordering repeats index {p}");
+        seen[p] = true;
+    }
+
+    let grounded = grounded_laplacian(&h);
+    let amd = SparseCholesky::factor(&grounded).expect("min-degree factor");
+    let nd = SparseCholesky::factor_with_order(&grounded, &order).expect("guided factor");
+    assert!(
+        nd.nnz() < amd.nnz(),
+        "LRD-guided ordering should beat min-degree on fill: nd {} vs amd {}",
+        nd.nnz(),
+        amd.nnz()
+    );
+}

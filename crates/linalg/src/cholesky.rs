@@ -37,7 +37,76 @@ use std::collections::{BTreeSet, BinaryHeap};
 /// Panics if `a` is not square.
 pub fn min_degree_order(a: &CsrMatrix) -> Vec<usize> {
     assert_eq!(a.n_rows(), a.n_cols(), "min_degree_order: square input");
+    min_degree_core(a, None, None).0
+}
+
+/// Constrained AMD-lite: minimum-degree elimination under a vertex
+/// priority (CAMD). All vertices of priority `p` are eliminated before any
+/// vertex of priority `p + 1`; *within* one priority class the pivot is
+/// the vertex of smallest current quotient-graph degree (ties on index).
+///
+/// This is the glue between a structural ordering (e.g. a nested
+/// dissection tree, whose constraint classes are "region interiors before
+/// their separators, finer separators before coarser") and the local
+/// fill-reduction a pure lexicographic tree order lacks.
+///
+/// Returns `perm` with `perm[k]` = the original index eliminated at step
+/// `k` (new-to-old).
+///
+/// # Panics
+/// Panics if `a` is not square or `priority.len() != a.n_rows()`.
+pub fn min_degree_order_with_priority(a: &CsrMatrix, priority: &[u32]) -> Vec<usize> {
+    assert_eq!(a.n_rows(), a.n_cols(), "min_degree_order: square input");
+    assert_eq!(
+        priority.len(),
+        a.n_rows(),
+        "min_degree_order_with_priority: one priority per vertex"
+    );
+    min_degree_core(a, Some(priority), None).0
+}
+
+/// AMD-lite with structural hints, reporting the exact factor size.
+///
+/// `hard_priority` (optional) is a CAMD constraint as in
+/// [`min_degree_order_with_priority`]. `tiebreak` (optional) is a *soft*
+/// hint consulted only between vertices of equal current degree (and equal
+/// hard priority): lower tie values are eliminated first. Soft hints never
+/// override the degree heuristic — they steer it where it is indifferent,
+/// which is how a separator structure can defer "bad" vertices (e.g.
+/// churn-inserted chord endpoints) at zero cost.
+///
+/// Returns `(perm, fill)` where `fill` is exactly `nnz(L)` (stored entries
+/// including the diagonal) of a Cholesky factorisation of `a`'s pattern
+/// under `perm` — the quotient-graph elimination materialises the filled
+/// graph, so the count is a byproduct. Lets callers race orderings and
+/// keep the cheapest without a numeric factorisation per candidate.
+///
+/// # Panics
+/// Panics if `a` is not square or a hint slice has the wrong length.
+pub fn min_degree_order_with_hints(
+    a: &CsrMatrix,
+    hard_priority: Option<&[u32]>,
+    tiebreak: Option<&[u32]>,
+) -> (Vec<usize>, usize) {
+    assert_eq!(a.n_rows(), a.n_cols(), "min_degree_order: square input");
+    for hint in [hard_priority, tiebreak].into_iter().flatten() {
+        assert_eq!(
+            hint.len(),
+            a.n_rows(),
+            "min_degree_order_with_hints: one hint entry per vertex"
+        );
+    }
+    min_degree_core(a, hard_priority, tiebreak)
+}
+
+fn min_degree_core(
+    a: &CsrMatrix,
+    priority: Option<&[u32]>,
+    tiebreak: Option<&[u32]>,
+) -> (Vec<usize>, usize) {
     let n = a.n_rows();
+    let pri = |v: usize| priority.map_or(0, |p| p[v]);
+    let tie = |v: usize| tiebreak.map_or(0, |t| t[v]);
     let mut adj: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
     for r in 0..n {
         let (cols, _) = a.row(r);
@@ -48,11 +117,13 @@ pub fn min_degree_order(a: &CsrMatrix) -> Vec<usize> {
             }
         }
     }
-    let mut heap: BinaryHeap<Reverse<(usize, u32)>> =
-        (0..n).map(|v| Reverse((adj[v].len(), v as u32))).collect();
+    let mut heap: BinaryHeap<Reverse<(u32, usize, u32, u32)>> = (0..n)
+        .map(|v| Reverse((pri(v), adj[v].len(), tie(v), v as u32)))
+        .collect();
     let mut eliminated = vec![false; n];
     let mut perm = Vec::with_capacity(n);
-    while let Some(Reverse((deg, v))) = heap.pop() {
+    let mut fill = 0usize;
+    while let Some(Reverse((_, deg, _, v))) = heap.pop() {
         let v = v as usize;
         // Lazy heap: skip stale entries (already eliminated or re-pushed
         // with a different degree after a neighbour's elimination).
@@ -61,6 +132,9 @@ pub fn min_degree_order(a: &CsrMatrix) -> Vec<usize> {
         }
         eliminated[v] = true;
         perm.push(v);
+        // The factor column for this pivot holds the diagonal plus one
+        // entry per uneliminated neighbour in the filled graph.
+        fill += 1 + deg;
         let neighbours: Vec<u32> = adj[v].iter().copied().collect();
         // Detach v, then join its neighbourhood into a clique.
         for &u in &neighbours {
@@ -73,10 +147,11 @@ pub fn min_degree_order(a: &CsrMatrix) -> Vec<usize> {
             }
         }
         for &u in &neighbours {
-            heap.push(Reverse((adj[u as usize].len(), u)));
+            let u = u as usize;
+            heap.push(Reverse((pri(u), adj[u].len(), tie(u), u as u32)));
         }
     }
-    perm
+    (perm, fill)
 }
 
 /// Sparse Cholesky factorisation `P A Pᵀ = L Lᵀ` of a symmetric positive
@@ -107,6 +182,10 @@ pub struct SparseCholesky {
     n: usize,
     /// `perm[k]` = original index of the k-th pivot (new-to-old).
     perm: Vec<u32>,
+    /// `iperm[old]` = pivot position of original index `old` (old-to-new);
+    /// the inverse of `perm`, kept so incremental updates can scatter a
+    /// sparse vector straight into the permuted basis.
+    iperm: Vec<u32>,
     /// Column pointers of `L` (column-major, diagonal entry first per
     /// column, off-diagonal rows strictly ascending after it).
     col_ptr: Vec<usize>,
@@ -269,10 +348,221 @@ impl SparseCholesky {
         Ok(SparseCholesky {
             n,
             perm: perm.iter().map(|&p| p as u32).collect(),
+            iperm,
             col_ptr,
             row_idx,
             values,
         })
+    }
+
+    /// Rank-1 update: replaces the factor of `A` with a factor of
+    /// `A + x xᵀ`, where `x` is given as sparse `(index, value)` entries in
+    /// the **original** (unpermuted) index space. Entries on the same index
+    /// accumulate.
+    ///
+    /// The patched factor keeps the original elimination ordering; new
+    /// structural entries (fill) appear where the update vector's etree
+    /// paths leave the existing pattern. If `max_nnz` is given and the
+    /// patched pattern would store more than that many entries, the call
+    /// fails with [`LinalgError::FillBudget`] **without touching the
+    /// factor** — the caller's cue to refactorize instead.
+    ///
+    /// Cost is proportional to the entries of `L` along the elimination
+    /// paths of `x`'s nonzeros — for localized updates, far below a
+    /// refactorization.
+    ///
+    /// # Errors
+    /// [`LinalgError::FillBudget`] (factor untouched) and
+    /// [`LinalgError::InvalidArgument`] on out-of-range or non-finite
+    /// entries (factor untouched).
+    pub fn cholupdate(
+        &mut self,
+        x: &[(usize, f64)],
+        max_nnz: Option<usize>,
+    ) -> Result<(), LinalgError> {
+        self.rank_one(x, false, max_nnz)
+    }
+
+    /// Rank-1 downdate: replaces the factor of `A` with a factor of
+    /// `A - x xᵀ`. Same contract as [`SparseCholesky::cholupdate`], with
+    /// one addition: if `A - x xᵀ` is not positive definite the hyperbolic
+    /// rotation breaks down with [`LinalgError::NotSpd`], and the factor is
+    /// left **partially patched** (unusable) — callers must refactorize on
+    /// any error from this method.
+    pub fn choldowndate(
+        &mut self,
+        x: &[(usize, f64)],
+        max_nnz: Option<usize>,
+    ) -> Result<(), LinalgError> {
+        self.rank_one(x, true, max_nnz)
+    }
+
+    fn rank_one(
+        &mut self,
+        x: &[(usize, f64)],
+        downdate: bool,
+        max_nnz: Option<usize>,
+    ) -> Result<(), LinalgError> {
+        let n = self.n;
+        for &(i, v) in x {
+            if i >= n {
+                return Err(LinalgError::InvalidArgument(format!(
+                    "update entry index {i} out of range for dimension {n}"
+                )));
+            }
+            if !v.is_finite() {
+                return Err(LinalgError::InvalidArgument(
+                    "update entry value is not finite".into(),
+                ));
+            }
+        }
+        // Scatter into the permuted basis; track the structural nonzeros.
+        let mut w = vec![0.0; n];
+        let mut front: Vec<u32> = Vec::with_capacity(x.len());
+        for &(i, v) in x {
+            let p = self.iperm[i] as usize;
+            if w[p] == 0.0 && v != 0.0 {
+                front.push(p as u32);
+            }
+            w[p] += v;
+        }
+        front.sort_unstable();
+        front.dedup();
+        if front.is_empty() {
+            return Ok(());
+        }
+
+        // Symbolic pass: walk the affected columns in elimination order.
+        // Rotating at column k makes w structurally nonzero at every stored
+        // row of column k, and column k structurally nonzero at every row
+        // where w is — so the frontier evolves as a sorted-list union, and
+        // the rows w brings that the column lacks become fill. Nothing is
+        // mutated yet, so a fill-budget rejection leaves the factor intact.
+        let first = front[0] as usize;
+        let mut fill: Vec<(u32, u32)> = Vec::new(); // (col, row), built sorted
+        let mut rest: Vec<u32> = front[1..].to_vec();
+        let mut merged: Vec<u32> = Vec::new();
+        let mut k = first;
+        loop {
+            let (lo, hi) = (self.col_ptr[k], self.col_ptr[k + 1]);
+            let col_rows = &self.row_idx[lo + 1..hi];
+            merged.clear();
+            let (mut a, mut b) = (0, 0);
+            while a < rest.len() || b < col_rows.len() {
+                let ra = rest.get(a).copied().unwrap_or(u32::MAX);
+                let rb = col_rows.get(b).copied().unwrap_or(u32::MAX);
+                match ra.cmp(&rb) {
+                    std::cmp::Ordering::Less => {
+                        fill.push((k as u32, ra));
+                        merged.push(ra);
+                        a += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push(rb);
+                        b += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        merged.push(ra);
+                        a += 1;
+                        b += 1;
+                    }
+                }
+            }
+            if merged.is_empty() {
+                break;
+            }
+            k = merged[0] as usize;
+            rest.clear();
+            rest.extend_from_slice(&merged[1..]);
+        }
+
+        if let Some(budget) = max_nnz {
+            let needed = self.nnz() + fill.len();
+            if needed > budget {
+                return Err(LinalgError::FillBudget { needed, budget });
+            }
+        }
+
+        // Splice the fill into the flat CSC arrays (one O(nnz + fill)
+        // rebuild; new entries start at exactly 0.0 so the numeric sweep
+        // below treats them like any stored entry).
+        if !fill.is_empty() {
+            let new_nnz = self.nnz() + fill.len();
+            let mut col_ptr = Vec::with_capacity(n + 1);
+            let mut row_idx = Vec::with_capacity(new_nnz);
+            let mut values = Vec::with_capacity(new_nnz);
+            col_ptr.push(0);
+            let mut f = 0;
+            for j in 0..n {
+                let (lo, hi) = (self.col_ptr[j], self.col_ptr[j + 1]);
+                // Diagonal first, then merge old off-diagonals with fill.
+                row_idx.push(self.row_idx[lo]);
+                values.push(self.values[lo]);
+                let mut p = lo + 1;
+                while p < hi || (f < fill.len() && fill[f].0 as usize == j) {
+                    let old_row = if p < hi { self.row_idx[p] } else { u32::MAX };
+                    let fill_row = if f < fill.len() && fill[f].0 as usize == j {
+                        fill[f].1
+                    } else {
+                        u32::MAX
+                    };
+                    if old_row < fill_row {
+                        row_idx.push(old_row);
+                        values.push(self.values[p]);
+                        p += 1;
+                    } else {
+                        row_idx.push(fill_row);
+                        values.push(0.0);
+                        f += 1;
+                    }
+                }
+                col_ptr.push(row_idx.len());
+            }
+            self.col_ptr = col_ptr;
+            self.row_idx = row_idx;
+            self.values = values;
+        }
+
+        // Numeric pass: one Givens (update) or hyperbolic (downdate)
+        // rotation per affected column. A column where w cancelled to
+        // exactly zero gets the identity rotation — skip it.
+        for k in first..n {
+            let wk = w[k];
+            if wk == 0.0 {
+                continue;
+            }
+            w[k] = 0.0;
+            let (lo, hi) = (self.col_ptr[k], self.col_ptr[k + 1]);
+            let ljj = self.values[lo];
+            let (c, s, r) = if downdate {
+                let r2 = ljj * ljj - wk * wk;
+                if r2 <= 0.0 || !r2.is_finite() {
+                    return Err(LinalgError::NotSpd { pivot: k });
+                }
+                let r = r2.sqrt();
+                (r / ljj, wk / ljj, r)
+            } else {
+                let r = ljj.hypot(wk);
+                (r / ljj, wk / ljj, r)
+            };
+            self.values[lo] = r;
+            if downdate {
+                for p in lo + 1..hi {
+                    let i = self.row_idx[p] as usize;
+                    let lnew = (self.values[p] - s * w[i]) / c;
+                    w[i] = c * w[i] - s * lnew;
+                    self.values[p] = lnew;
+                }
+            } else {
+                for p in lo + 1..hi {
+                    let i = self.row_idx[p] as usize;
+                    let lnew = (self.values[p] + s * w[i]) / c;
+                    w[i] = c * w[i] - s * lnew;
+                    self.values[p] = lnew;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Dimension of the factored matrix.
@@ -288,6 +578,20 @@ impl SparseCholesky {
     /// The elimination order used (`perm[k]` = original index of pivot `k`).
     pub fn ordering(&self) -> &[u32] {
         &self.perm
+    }
+
+    /// Estimated floating-point work of a numeric refactorization with this
+    /// pattern: `Σ_j c_j²` over the column counts `c_j` of `L`. Fill makes
+    /// this grow faster than [`SparseCholesky::nnz`], so it is the right
+    /// normalizer when judging whether factor-maintenance time merely
+    /// tracks the instance or genuinely regresses.
+    pub fn flops_estimate(&self) -> f64 {
+        (0..self.n)
+            .map(|j| {
+                let c = (self.col_ptr[j + 1] - self.col_ptr[j]) as f64;
+                c * c
+            })
+            .sum()
     }
 
     /// Solves `A x = b` into `x` via `P A Pᵀ = L Lᵀ`.
@@ -472,7 +776,194 @@ mod tests {
         }
     }
 
+    /// Dense-roundtrip reference: `A + sigma · x xᵀ` as a fresh CSR matrix.
+    fn with_outer(a: &CsrMatrix, x: &[(usize, f64)], sigma: f64) -> CsrMatrix {
+        let n = a.n_rows();
+        let mut xv = vec![0.0; n];
+        for &(i, v) in x {
+            xv[i] += v;
+        }
+        let mut t = Vec::new();
+        for r in 0..n {
+            let (cols, vals) = a.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                t.push((r, c as usize, v));
+            }
+        }
+        for i in 0..n {
+            if xv[i] == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                if xv[j] != 0.0 {
+                    t.push((i, j, sigma * xv[i] * xv[j]));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    fn order_of(f: &SparseCholesky) -> Vec<usize> {
+        f.ordering().iter().map(|&p| p as usize).collect()
+    }
+
+    #[test]
+    fn cholupdate_matches_refactorization() {
+        let a = grounded_laplacian_grid(6);
+        let n = a.n_rows();
+        let mut f = SparseCholesky::factor(&a).unwrap();
+        let x = vec![(2, 0.8), (17, -0.5), (20, 0.3)];
+        f.cholupdate(&x, None).unwrap();
+        let fresh =
+            SparseCholesky::factor_with_order(&with_outer(&a, &x, 1.0), &order_of(&f)).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 5 % 13) as f64) - 6.0).collect();
+        let (got, want) = (f.solve(&b), fresh.solve(&b));
+        for i in 0..n {
+            assert!(
+                (got[i] - want[i]).abs() < 1e-9,
+                "i={i}: {} vs {}",
+                got[i],
+                want[i]
+            );
+        }
+        assert_eq!(
+            f.nnz(),
+            fresh.nnz(),
+            "patched pattern must cover the fresh one"
+        );
+    }
+
+    #[test]
+    fn choldowndate_recovers_the_original_factor() {
+        let a = grounded_laplacian_grid(5);
+        let n = a.n_rows();
+        let base = SparseCholesky::factor(&a).unwrap();
+        let mut f = base.clone();
+        let x = vec![(1, 0.9), (10, 0.4)];
+        f.cholupdate(&x, None).unwrap();
+        f.choldowndate(&x, None).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64).collect();
+        let (got, want) = (f.solve(&b), base.solve(&b));
+        for i in 0..n {
+            assert!((got[i] - want[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn choldowndate_detects_loss_of_positive_definiteness() {
+        let a = grounded_laplacian_grid(4);
+        let mut f = SparseCholesky::factor(&a).unwrap();
+        // Subtracting a huge outer product makes the matrix indefinite.
+        let x = vec![(0, 100.0)];
+        assert!(matches!(
+            f.choldowndate(&x, None),
+            Err(LinalgError::NotSpd { .. })
+        ));
+    }
+
+    #[test]
+    fn fill_budget_rejection_leaves_the_factor_untouched() {
+        let a = grounded_laplacian_grid(6);
+        let n = a.n_rows();
+        let natural: Vec<usize> = (0..n).collect();
+        let mut f = SparseCholesky::factor_with_order(&a, &natural).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let before = f.solve(&b);
+        // Nodes 0 and 7 share no stored column entry under the natural
+        // ordering, so this update needs fill; a budget of the current nnz
+        // must reject it.
+        let x = vec![(0, 0.5), (7, 0.5)];
+        let budget = f.nnz();
+        match f.cholupdate(&x, Some(budget)) {
+            Err(LinalgError::FillBudget {
+                needed,
+                budget: got,
+            }) => {
+                assert!(needed > budget);
+                assert_eq!(got, budget);
+            }
+            other => panic!("expected FillBudget, got {other:?}"),
+        }
+        let after = f.solve(&b);
+        assert_eq!(before, after, "rejected update must not touch the factor");
+        // With the budget lifted the same update succeeds and matches a
+        // refactorization.
+        f.cholupdate(&x, None).unwrap();
+        let fresh = SparseCholesky::factor_with_order(&with_outer(&a, &x, 1.0), &natural).unwrap();
+        let (got, want) = (f.solve(&b), fresh.solve(&b));
+        for i in 0..n {
+            assert!((got[i] - want[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_and_cancelling_updates_are_no_ops() {
+        let a = grounded_laplacian_grid(4);
+        let mut f = SparseCholesky::factor(&a).unwrap();
+        let b: Vec<f64> = (0..a.n_rows()).map(|i| i as f64).collect();
+        let before = f.solve(&b);
+        f.cholupdate(&[], None).unwrap();
+        f.cholupdate(&[(3, 0.5), (3, -0.5)], None).unwrap();
+        assert_eq!(before, f.solve(&b));
+    }
+
+    #[test]
+    fn update_rejects_bad_entries() {
+        let a = grounded_laplacian_grid(4);
+        let mut f = SparseCholesky::factor(&a).unwrap();
+        assert!(f.cholupdate(&[(999, 1.0)], None).is_err());
+        assert!(f.cholupdate(&[(0, f64::NAN)], None).is_err());
+    }
+
     proptest! {
+        #[test]
+        fn prop_update_downdate_prefixes_match_refactorization(
+            picks in proptest::collection::vec((0usize..24, 0usize..24, 0.1f64..0.9, 0usize..2), 1..6),
+            b in proptest::collection::vec(-2.0f64..2.0, 24),
+        ) {
+            // Random mixed batch of edge-style rank-1 updates on a grounded
+            // 5x5 grid (n = 24); after every prefix the patched factor must
+            // agree with a fresh factorization of the accumulated matrix.
+            let a0 = grounded_laplacian_grid(5);
+            let n = a0.n_rows();
+            let mut f = SparseCholesky::factor(&a0).unwrap();
+            let mut acc = a0.clone();
+            // Downdates remove a half-scaled copy of an earlier update, so
+            // the accumulated matrix stays SPD by construction.
+            let mut applied: Vec<Vec<(usize, f64)>> = Vec::new();
+            for &(u, v, w, down) in &picks {
+                let down = down == 1;
+                let (x, sigma) = if down && !applied.is_empty() {
+                    let prev = applied.pop().unwrap();
+                    let scale = 0.5f64.sqrt();
+                    let xs: Vec<(usize, f64)> =
+                        prev.iter().map(|&(i, val)| (i, val * scale)).collect();
+                    (xs, -1.0)
+                } else {
+                    let root = w.sqrt();
+                    let x: Vec<(usize, f64)> = if u == v {
+                        vec![(u, root)]
+                    } else {
+                        vec![(u, root), (v, -root)]
+                    };
+                    applied.push(x.clone());
+                    (x, 1.0)
+                };
+                if sigma > 0.0 {
+                    f.cholupdate(&x, None).unwrap();
+                } else {
+                    f.choldowndate(&x, None).unwrap();
+                }
+                acc = with_outer(&acc, &x, sigma);
+                let fresh = SparseCholesky::factor_with_order(&acc, &order_of(&f)).unwrap();
+                let (got, want) = (f.solve(&b), fresh.solve(&b));
+                for i in 0..n {
+                    prop_assert!((got[i] - want[i]).abs() < 1e-7,
+                        "i={i}: {} vs {}", got[i], want[i]);
+                }
+            }
+        }
+
         #[test]
         fn prop_factor_solve_inverts_spd(
             raw in proptest::collection::vec(-1.0f64..1.0, 36),

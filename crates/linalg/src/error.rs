@@ -28,6 +28,14 @@ pub enum LinalgError {
     },
     /// An argument was outside the domain of the routine.
     InvalidArgument(String),
+    /// An incremental factor update would grow the stored pattern past the
+    /// caller's fill budget; the factor was left untouched.
+    FillBudget {
+        /// Stored entries the patched factor would need.
+        needed: usize,
+        /// Maximum the caller allowed.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -48,6 +56,12 @@ impl fmt::Display for LinalgError {
                 write!(f, "dimension mismatch: expected {expected}, found {found}")
             }
             LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            LinalgError::FillBudget { needed, budget } => {
+                write!(
+                    f,
+                    "factor update needs {needed} stored entries, over the fill budget of {budget}"
+                )
+            }
         }
     }
 }

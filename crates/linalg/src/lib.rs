@@ -54,7 +54,9 @@ mod op;
 pub mod vector;
 
 pub use cg::{pcg, pcg_multi, CgOptions, CgResult, IdentityPrecond, JacobiPrecond, Preconditioner};
-pub use cholesky::{min_degree_order, SparseCholesky};
+pub use cholesky::{
+    min_degree_order, min_degree_order_with_hints, min_degree_order_with_priority, SparseCholesky,
+};
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::LinalgError;

@@ -21,6 +21,7 @@
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencySummary {
     count: usize,
+    rejected: usize,
     total_s: f64,
     min_s: f64,
     max_s: f64,
@@ -32,39 +33,49 @@ impl LatencySummary {
         LatencySummary::default()
     }
 
-    /// Records one sample. Negative or non-finite samples are clamped to
-    /// zero (they can only arise from timer anomalies and must not poison
-    /// the aggregate).
+    /// Records one sample. Negative or non-finite samples can only arise
+    /// from timer anomalies and must not poison the aggregate: they are
+    /// *dropped* — counted in [`LatencySummary::rejected`], but excluded
+    /// from count/total/min/max. (An earlier version clamped them to zero
+    /// and recorded that, silently pinning `min_seconds` to 0.)
     pub fn record(&mut self, seconds: f64) {
-        let s = if seconds.is_finite() && seconds > 0.0 {
-            seconds
-        } else {
-            0.0
-        };
+        if !seconds.is_finite() || seconds < 0.0 {
+            self.rejected += 1;
+            return;
+        }
         if self.count == 0 {
-            self.min_s = s;
-            self.max_s = s;
+            self.min_s = seconds;
+            self.max_s = seconds;
         } else {
-            self.min_s = self.min_s.min(s);
-            self.max_s = self.max_s.max(s);
+            self.min_s = self.min_s.min(seconds);
+            self.max_s = self.max_s.max(seconds);
         }
         self.count += 1;
-        self.total_s += s;
+        self.total_s += seconds;
     }
 
     /// Folds another summary into this one.
     pub fn merge(&mut self, other: &LatencySummary) {
+        self.rejected += other.rejected;
         if other.count == 0 {
             return;
         }
         if self.count == 0 {
+            let rejected = self.rejected;
             *self = *other;
+            self.rejected = rejected;
             return;
         }
         self.count += other.count;
         self.total_s += other.total_s;
         self.min_s = self.min_s.min(other.min_s);
         self.max_s = self.max_s.max(other.max_s);
+    }
+
+    /// Anomalous samples (negative or non-finite) dropped by
+    /// [`LatencySummary::record`].
+    pub fn rejected(&self) -> usize {
+        self.rejected
     }
 
     /// Samples recorded.
@@ -125,14 +136,48 @@ mod tests {
     }
 
     #[test]
-    fn bogus_samples_are_clamped() {
+    fn bogus_samples_are_dropped_not_recorded() {
         let mut lat = LatencySummary::new();
         lat.record(f64::NAN);
         lat.record(-1.0);
         lat.record(f64::INFINITY);
-        assert_eq!(lat.count(), 3);
+        assert_eq!(lat.count(), 0);
+        assert_eq!(lat.rejected(), 3);
         assert_eq!(lat.total_seconds(), 0.0);
         assert_eq!(lat.max_seconds(), 0.0);
+    }
+
+    #[test]
+    fn anomalies_do_not_poison_min_seconds() {
+        // Regression: clamping anomalies to 0.0 and recording them used to
+        // pin min_seconds at 0 for the rest of the summary's life.
+        let mut lat = LatencySummary::new();
+        lat.record(f64::NAN);
+        lat.record(0.005);
+        lat.record(-3.0);
+        lat.record(0.002);
+        assert_eq!(lat.count(), 2);
+        assert_eq!(lat.rejected(), 2);
+        assert_eq!(lat.min_seconds(), 0.002);
+        assert_eq!(lat.max_seconds(), 0.005);
+        assert!((lat.mean_seconds() - 0.0035).abs() < 1e-12);
+
+        // Merging propagates the rejected count without reviving zeros.
+        let mut other = LatencySummary::new();
+        other.record(f64::INFINITY);
+        other.record(0.004);
+        lat.merge(&other);
+        assert_eq!(lat.count(), 3);
+        assert_eq!(lat.rejected(), 3);
+        assert_eq!(lat.min_seconds(), 0.002);
+
+        // Merging into an empty summary keeps its rejected tally too.
+        let mut empty = LatencySummary::new();
+        empty.record(f64::NAN);
+        empty.merge(&other);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.rejected(), 2);
+        assert_eq!(empty.min_seconds(), 0.004);
     }
 
     #[test]

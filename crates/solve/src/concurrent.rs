@@ -25,6 +25,13 @@
 //! zero initial guess, so the answers are bit-for-bit identical at any
 //! worker width and any submission interleaving — only the grouping (and
 //! therefore throughput) depends on timing.
+//!
+//! Each request is preconditioned by its snapshot's own grounded factor.
+//! Under the engine's incremental factor maintenance that factor is
+//! usually *patched in place* (rank-1 up/downdates at publish time) rather
+//! than rebuilt, but a snapshot pins whichever numbers it was published
+//! with — serving never observes a half-applied update, and a patched
+//! factor preconditions exactly like a fresh one.
 
 use crate::service::{PrecondKind, SolveConfig};
 use ingrass::{PhaseTimer, SparsifierSnapshot};
@@ -455,6 +462,66 @@ mod tests {
         assert!(round.served.is_empty());
         assert_eq!(round.groups, 0);
         assert_eq!(svc.stats().drains, 0, "empty rounds don't count");
+    }
+
+    #[test]
+    fn serving_stays_exact_on_patched_factors_across_churn() {
+        // Patch-always policy: on a 24-node graph the default
+        // cost-crossover would route even these 2-op batches to the
+        // (equally exact) numeric-refactor tier — an insert redistributed
+        // over a cluster journals one delta per intra-cluster edge, which
+        // on a graph this small exceeds any fraction-of-n cap. This test
+        // is specifically about serving from *patched* factors.
+        let mut engine = SnapshotEngine::setup(&ring(24), &SetupConfig::default())
+            .unwrap()
+            .with_factor_policy(ingrass::FactorPolicy {
+                max_patch_fraction: 4.0,
+                ..ingrass::FactorPolicy::default()
+            });
+        let svc = ConcurrentSolveService::new(SolveConfig::default());
+        let ucfg = UpdateConfig::default();
+        let mut patched_publishes = 0;
+        for step in 0..6usize {
+            let report = engine
+                .apply_batch(
+                    &[
+                        UpdateOp::Insert {
+                            u: step,
+                            v: (step + 11) % 24,
+                            weight: 1.0 + step as f64 * 0.25,
+                        },
+                        UpdateOp::Reweight {
+                            u: step,
+                            v: step + 1,
+                            weight: 2.0,
+                        },
+                    ],
+                    &ucfg,
+                )
+                .unwrap();
+            let publish = report.publish.expect("non-empty batch must publish");
+            patched_publishes += usize::from(publish.factor_updated);
+            let snap = engine.snapshot();
+            let lap = snap.laplacian_arc();
+            svc.submit(&snap, &lap, pair_rhs(24, step, (step + 12) % 24))
+                .unwrap();
+            let round = svc.drain();
+            assert!(round.all_converged());
+            // The snapshot's factor is an exact factorization of this very
+            // Laplacian — patched or rebuilt, PCG must land almost at once.
+            for s in &round.served {
+                assert!(
+                    s.result.iterations <= 2,
+                    "patched factor lost exactness at step {step}: {} iterations",
+                    s.result.iterations
+                );
+            }
+        }
+        assert!(
+            patched_publishes >= 4,
+            "churn this mild should patch the factor, not refactor \
+             ({patched_publishes}/6 publishes patched)"
+        );
     }
 
     #[test]

@@ -348,7 +348,10 @@ impl SolveService {
     ///
     /// The returned report carries the snapshot's epoch; `refactorized` is
     /// always `false` and `factor_seconds` 0 (the factor was paid for at
-    /// publish time by the [`ingrass::SnapshotEngine`]).
+    /// publish time by the [`ingrass::SnapshotEngine`] — usually as a
+    /// handful of rank-1 up/downdates patching the previous factor rather
+    /// than a from-scratch refactorization, which is what keeps publish
+    /// latency flat under sustained churn).
     ///
     /// # Errors
     /// [`SolveError::Dimension`] on operand/snapshot shape mismatch.
