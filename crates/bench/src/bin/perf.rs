@@ -26,19 +26,24 @@
 //! * `--tolerance <f>` — relative regression budget for `--baseline`
 //!   (default 0.25 = 25 %, plus a 5 ms absolute floor against timer noise).
 //!
-//! The emitted JSON schema (`schema_version` 1) is documented in the README
-//! ("Benchmarking & perf tracking"). Backward-compatible additions: one
-//! `<case>/krylov/churn` scenario per case exercising the operation-log
-//! engine under a mixed insert/delete/reweight stream (drift-driven
-//! re-setups enabled), plus a top-level `update_mix` metadata object with
-//! the churn ratios, plus one `<case>/solve` scenario per case measuring
-//! the sparsifier-preconditioned solve service (factorization wall time,
-//! cold vs warm batched PCG, iteration counts against unpreconditioned
-//! CG), plus one `serve/<case>` scenario per case measuring the
-//! concurrent serving layer (snapshot publish latency per state-changing
-//! batch, admission-batched drain wall time, mixed update+solve
-//! throughput). Baselines without churn/solve/serve scenarios still gate
-//! cleanly — the gate only compares scenario ids present in the baseline.
+//! The emitted JSON schema (`schema_version` 2) is documented in the README
+//! ("Benchmarking & perf tracking"). Schema 1 additions were
+//! backward-compatible: one `<case>/krylov/churn` scenario per case
+//! exercising the operation-log engine under a mixed
+//! insert/delete/reweight stream (drift-driven re-setups enabled), plus a
+//! top-level `update_mix` metadata object with the churn ratios, plus one
+//! `<case>/solve` scenario per case measuring the sparsifier-preconditioned
+//! solve service (factorization wall time, cold vs warm batched PCG,
+//! iteration counts against unpreconditioned CG), plus one `serve/<case>`
+//! scenario per case measuring the concurrent serving layer (snapshot
+//! publish latency per state-changing batch, admission-batched drain wall
+//! time, mixed update+solve throughput). Schema 2 adds one
+//! `recover/<case>` scenario per case measuring the persistence layer —
+//! crash recovery (`PersistentEngine::open`: newest snapshot + WAL-tail
+//! replay) against from-scratch engine setup on the same sparsifier — and
+//! gates its `recover_wall_s`. The gate refuses a baseline whose
+//! `schema_version` differs from this binary's: a schema change without a
+//! baseline regenerated in the same PR guards nothing.
 
 use ingrass::{
     InGrassEngine, PhaseTimer, ResistanceBackend, SetupConfig, SnapshotEngine, UpdateConfig,
@@ -55,14 +60,17 @@ use ingrass_metrics::{
 };
 use ingrass_resistance::{JlConfig, KrylovConfig};
 use ingrass_solve::{unpreconditioned_cg, ConcurrentSolveService, SolveConfig, SolveService};
+use ingrass_store::{PersistentEngine, StorePolicy};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-/// Bumped whenever a field changes meaning; readers must check it.
-/// Additions (the churn scenarios, `update_mix`) are backward-compatible
-/// and do not bump it.
-const SCHEMA_VERSION: f64 = 1.0;
+/// Bumped whenever a field changes meaning **or the gated-metric set
+/// grows** (readers must check it; the gate refuses mismatched
+/// baselines). 1 → 2: `recover/<case>` scenarios added and their
+/// `recover_wall_s` joined the gated set — a schema-1 baseline can no
+/// longer vouch for the full matrix.
+const SCHEMA_VERSION: f64 = 2.0;
 
 /// Times a fixed integer-arithmetic kernel (~1.6·10⁸ wrapping ops) as a
 /// machine-speed proxy. The regression gate scales baseline wall times by
@@ -660,6 +668,118 @@ fn run_serve_scenario(case: TestCase, fixture: &CaseFixture, args: &Args) -> Jso
     ])
 }
 
+/// Runs the recover scenario of one case. A durable store is populated —
+/// engine setup, the full churn stream, a snapshot checkpoint after the
+/// next-to-last batch so the last batch remains as a WAL tail — then the
+/// process "dies" (the engine is dropped) and `PersistentEngine::open`
+/// recovers: newest-snapshot decode plus WAL-tail replay.
+///
+/// The comparison point is everything recovery replaces: without the
+/// store, the crashed process would re-sparsify the original graph,
+/// re-run engine setup (paying the resistance embedding again), and
+/// re-apply the full update history. `recover_wall_s` is gated; the
+/// headline `recover_ratio_vs_from_scratch` is recovery over that
+/// from-scratch rebuild (≤ 0.25 expected on every suite case — the
+/// snapshot-cadence/recovery-time trade-off is discussed in the README).
+fn run_recover_scenario(case: TestCase, fixture: &CaseFixture, args: &Args) -> Json {
+    let setup_cfg = SetupConfig::default()
+        .with_seed(args.seed)
+        .with_resistance(backend_config("krylov", args.threads));
+    let ucfg = UpdateConfig::default();
+    let batches = fixture.churn.batches();
+
+    // The from-scratch rebuild, timed end to end on the same inputs.
+    let mut timer = PhaseTimer::start();
+    let h_rebuilt = GrassSparsifier::default()
+        .by_offtree_density(&fixture.g0, 0.10)
+        .expect("recover re-sparsification")
+        .graph;
+    let mut scratch = SnapshotEngine::setup(&h_rebuilt, &setup_cfg).expect("recover setup");
+    for batch in batches {
+        scratch
+            .apply_batch(&to_update_ops(batch), &ucfg)
+            .expect("recover from-scratch replay");
+    }
+    let from_scratch_wall = timer.lap().as_secs_f64();
+    drop(scratch);
+
+    // Populate the store: same setup and history, checkpointed after the
+    // next-to-last batch so recovery exercises both arms — snapshot decode
+    // and WAL-tail replay.
+    let dir = std::env::temp_dir().join(format!(
+        "ingrass-perf-recover-{}-{}",
+        case.name(),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    // fsync off: the scenario times the read/replay path; sync-write noise
+    // on CI runners is not what the gate should absorb. Automatic
+    // checkpoints off so the snapshot/WAL split is the explicit one below.
+    let policy = StorePolicy::default()
+        .with_fsync(false)
+        .with_snapshot_every(0);
+    let mut persistent =
+        PersistentEngine::create(&dir, &fixture.h0, &setup_cfg, policy).expect("recover store");
+    let split = batches.len().saturating_sub(1);
+    for batch in &batches[..split] {
+        persistent
+            .apply_batch(&to_update_ops(batch), &ucfg)
+            .expect("recover churn (pre-checkpoint)");
+    }
+    persistent.snapshot_now().expect("recover checkpoint");
+    for batch in &batches[split..] {
+        persistent
+            .apply_batch(&to_update_ops(batch), &ucfg)
+            .expect("recover churn (WAL tail)");
+    }
+    let wal_seq = persistent.wal_seq();
+    drop(persistent);
+
+    timer.lap();
+    let (recovered, report) = PersistentEngine::open(&dir, policy).expect("recover open");
+    let recover_wall = timer.lap().as_secs_f64();
+    assert_eq!(
+        report.replayed_batches,
+        (batches.len() - split) as u64,
+        "recovery must replay exactly the WAL tail"
+    );
+    assert_eq!(recovered.wal_seq(), wal_seq, "recovery lost WAL records");
+    let ratio = recover_wall / from_scratch_wall.max(f64::MIN_POSITIVE);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "{:<14} recover {:>10} vs from-scratch {:>10} ({:.3}x)  snapshot seq {} + {} replayed",
+        case.name(),
+        fmt_secs(recover_wall),
+        fmt_secs(from_scratch_wall),
+        ratio,
+        report.snapshot_sequence,
+        report.replayed_batches,
+    );
+
+    obj(vec![
+        ("id", Json::Str(format!("recover/{}", case.name()))),
+        ("case", Json::Str(case.name().to_string())),
+        ("backend", Json::Str("krylov".to_string())),
+        ("kind", Json::Str("recover".to_string())),
+        ("nodes", Json::Num(fixture.g0.num_nodes() as f64)),
+        ("edges", Json::Num(fixture.g0.num_edges() as f64)),
+        ("recover_wall_s", Json::Num(recover_wall)),
+        ("from_scratch_wall_s", Json::Num(from_scratch_wall)),
+        ("recover_ratio_vs_from_scratch", Json::Num(ratio)),
+        ("recover_decode_replay_s", Json::Num(report.recover_seconds)),
+        (
+            "replayed_batches",
+            Json::Num(report.replayed_batches as f64),
+        ),
+        (
+            "snapshot_sequence",
+            Json::Num(report.snapshot_sequence as f64),
+        ),
+        ("wal_seq", Json::Num(report.wal_seq as f64)),
+    ])
+}
+
 /// Runs one (case, backend) scenario: inGRASS setup (timed, with the
 /// engine's own phase breakdown) → the paper's 10-batch insertion stream
 /// (timed) → final condition number and off-tree density against the
@@ -780,7 +900,7 @@ fn regressions(current: &Json, baseline: &Json, tolerance: f64) -> Vec<String> {
     // likewise the serving keys once a baseline carries `serve/<case>`
     // scenarios (snapshot publish latency and drain throughput are the
     // serving layer's tracked metrics).
-    const GATED: [&str; 7] = [
+    const GATED: [&str; 8] = [
         "setup_wall_s",
         "update_wall_s",
         "factor_wall_s",
@@ -788,6 +908,7 @@ fn regressions(current: &Json, baseline: &Json, tolerance: f64) -> Vec<String> {
         "serve_update_wall_s",
         "publish_wall_s",
         "serve_solve_wall_s",
+        "recover_wall_s",
     ];
     // Absolute floor absorbing scheduler/timer noise on sub-5 ms scenarios.
     const FLOOR_S: f64 = 0.005;
@@ -857,6 +978,7 @@ fn main() -> ExitCode {
         scenarios.push(run_churn_scenario(case, &fixture, &args));
         scenarios.push(run_solve_scenario(case, &fixture, &args));
         scenarios.push(run_serve_scenario(case, &fixture, &args));
+        scenarios.push(run_recover_scenario(case, &fixture, &args));
     }
 
     let doc = obj(vec![
@@ -908,7 +1030,11 @@ fn main() -> ExitCode {
         let base_schema = baseline.get("schema_version").and_then(Json::as_f64);
         if base_schema != Some(SCHEMA_VERSION) {
             eprintln!(
-                "baseline {}: schema_version {:?} is not the supported {SCHEMA_VERSION}",
+                "baseline {}: schema_version {:?} does not match this binary's \
+                 {SCHEMA_VERSION} — the schema changed without regenerating the \
+                 baseline. Re-run the perf binary on the baseline machine and \
+                 check the new BENCH_baseline.json in with the schema change \
+                 (same PR), so every gated metric keeps a reference point.",
                 baseline_path.display(),
                 base_schema,
             );

@@ -1,10 +1,18 @@
 //! Setup and update configuration.
+//!
+//! This module is the one-stop shop for every knob the engine reads:
+//! [`SetupConfig`] / [`ResistanceBackend`] / [`DriftPolicy`] for the setup
+//! phase, [`UpdateConfig`] for update batches, and (re-exported from their
+//! home modules) the estimator configs [`KrylovConfig`] / [`JlConfig`] and
+//! the serving layer's [`FactorPolicy`]. The facade crate's `config`
+//! module re-exports all of them alongside the solve and store configs.
 
-use ingrass_resistance::{JlConfig, KrylovConfig};
+pub use crate::snapshot::FactorPolicy;
+pub use ingrass_resistance::{JlConfig, KrylovConfig, KrylovOperator};
 
 /// Which estimator supplies the per-edge effective resistances consumed by
 /// the LRD decomposition (setup phase 1).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ResistanceBackend {
     /// The paper's solve-free Krylov-subspace embedding (default).
     Krylov(KrylovConfig),
@@ -31,7 +39,7 @@ impl Default for ResistanceBackend {
 /// that degradation and, when any threshold below is crossed at the end of
 /// an [`crate::InGrassEngine::apply_batch`] call, rebuilds the hierarchy
 /// from the live sparsifier.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DriftPolicy {
     /// Re-setup when deleted weight exceeds this fraction of the sparsifier
     /// weight at the last (re)setup (default 0.2).
@@ -69,7 +77,7 @@ impl DriftPolicy {
 }
 
 /// Configuration of the one-time setup phase.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SetupConfig {
     /// Resistance estimator for the sparsifier's edges.
     pub resistance: ResistanceBackend,
@@ -129,7 +137,7 @@ impl SetupConfig {
 }
 
 /// Configuration of one update batch.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UpdateConfig {
     /// Target relative condition number `C = κ(L_G, L_H)`. Selects the
     /// filtering level: the deepest LRD level whose largest cluster has at
@@ -151,6 +159,27 @@ impl Default for UpdateConfig {
             sort_by_distortion: true,
             filtering_level_override: None,
         }
+    }
+}
+
+impl UpdateConfig {
+    /// Returns the config with the given target condition number.
+    pub fn with_target_condition(mut self, target: f64) -> Self {
+        self.target_condition = target;
+        self
+    }
+
+    /// Returns the config with distortion-ordered processing on or off.
+    pub fn with_sort_by_distortion(mut self, sort: bool) -> Self {
+        self.sort_by_distortion = sort;
+        self
+    }
+
+    /// Returns the config with an explicit filtering level (`None`
+    /// restores derivation from the target condition number).
+    pub fn with_filtering_level_override(mut self, level: Option<usize>) -> Self {
+        self.filtering_level_override = level;
+        self
     }
 }
 
@@ -180,6 +209,17 @@ mod tests {
         assert_eq!(s.seed, 9);
         assert!(matches!(s.resistance, ResistanceBackend::LocalOnly));
         assert!(!s.drift.auto_resetup);
+    }
+
+    #[test]
+    fn update_config_builders_chain() {
+        let u = UpdateConfig::default()
+            .with_target_condition(32.0)
+            .with_sort_by_distortion(false)
+            .with_filtering_level_override(Some(3));
+        assert_eq!(u.target_condition, 32.0);
+        assert!(!u.sort_by_distortion);
+        assert_eq!(u.filtering_level_override, Some(3));
     }
 
     #[test]

@@ -153,6 +153,84 @@ impl ClusterConnectivity {
     pub fn num_connected_pairs(&self, level: usize) -> usize {
         self.pair_maps[level].len()
     }
+
+    /// Exports the exact index state for persistence. Outer map keys are
+    /// sorted (deterministic bytes); intra-edge lists are kept verbatim —
+    /// their order feeds floating-point share accumulation in the
+    /// redistribute path and must survive a round-trip bit-for-bit.
+    pub(crate) fn export_state(&self) -> crate::state::ConnectivityState {
+        let pair_maps = self
+            .pair_maps
+            .iter()
+            .map(|m| {
+                let mut v: Vec<(u32, u32, u32)> = m
+                    .iter()
+                    .map(|(&(a, b), &id)| (a, b, id.index() as u32))
+                    .collect();
+                v.sort_unstable_by_key(|&(a, b, _)| (a, b));
+                v
+            })
+            .collect();
+        let intra_maps = self
+            .intra_maps
+            .iter()
+            .map(|m| {
+                let mut v: Vec<(u32, Vec<u32>)> = m
+                    .iter()
+                    .map(|(&c, ids)| (c, ids.iter().map(|id| id.index() as u32).collect()))
+                    .collect();
+                v.sort_unstable_by_key(|&(c, _)| c);
+                v
+            })
+            .collect();
+        let intra_dead = self
+            .intra_dead
+            .iter()
+            .map(|m| {
+                let mut v: Vec<(u32, u32)> = m.iter().map(|(&c, &d)| (c, d)).collect();
+                v.sort_unstable_by_key(|&(c, _)| c);
+                v
+            })
+            .collect();
+        crate::state::ConnectivityState {
+            pair_maps,
+            intra_maps,
+            intra_dead,
+        }
+    }
+
+    /// Rebuilds the index from persisted state (the inverse of
+    /// [`ClusterConnectivity::export_state`]).
+    pub(crate) fn from_state(state: &crate::state::ConnectivityState) -> Self {
+        let pair_maps = state
+            .pair_maps
+            .iter()
+            .map(|v| {
+                v.iter()
+                    .map(|&(a, b, id)| ((a, b), EdgeId::new(id as usize)))
+                    .collect::<HashMap<_, _>>()
+            })
+            .collect();
+        let intra_maps = state
+            .intra_maps
+            .iter()
+            .map(|v| {
+                v.iter()
+                    .map(|(c, ids)| (*c, ids.iter().map(|&id| EdgeId::new(id as usize)).collect()))
+                    .collect::<HashMap<u32, Vec<EdgeId>>>()
+            })
+            .collect();
+        let intra_dead = state
+            .intra_dead
+            .iter()
+            .map(|v| v.iter().copied().collect::<HashMap<u32, u32>>())
+            .collect();
+        ClusterConnectivity {
+            pair_maps,
+            intra_maps,
+            intra_dead,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@ use crate::config::{ResistanceBackend, SetupConfig, UpdateConfig};
 use crate::connectivity::ClusterConnectivity;
 use crate::error::InGrassError;
 use crate::ledger::{UpdateLedger, UpdateOp};
-use crate::lrd::LrdHierarchy;
+use crate::lrd::{LrdHierarchy, LrdLevel};
 use crate::report::{EdgeOutcome, PhaseTimer, SetupReport, UpdateReport};
 use crate::Result;
 use ingrass_graph::{is_connected, DynGraph, Graph, NodeId};
@@ -59,7 +59,7 @@ pub struct InGrassEngine {
     /// after merge/redistribute/relink/surplus transformations — so a
     /// cached Cholesky factor of `L_H` can be patched with one rank-1
     /// update per entry instead of refactorizing
-    /// ([`crate::SparsifierPrecond::apply_edge_deltas`]). Compacted in
+    /// (`SparsifierPrecond::apply_edge_deltas`). Compacted in
     /// place when it outgrows the sparsifier; cleared by a re-setup, which
     /// invalidates factors wholesale via the epoch.
     deltas: Vec<(u32, u32, f64)>,
@@ -487,7 +487,7 @@ impl InGrassEngine {
     ///
     /// This is how the serving layer keeps a live Cholesky factor patched:
     /// each entry is a rank-1 update/downdate of `L_H`
-    /// ([`crate::SparsifierPrecond::apply_edge_deltas`]). Deltas journaled
+    /// (`SparsifierPrecond::apply_edge_deltas`). Deltas journaled
     /// in an epoch the consumer never saw are useless — always compare
     /// [`InGrassEngine::epoch`] against the factor's before applying.
     pub fn take_edge_deltas(&mut self) -> Vec<(u32, u32, f64)> {
@@ -768,6 +768,108 @@ impl InGrassEngine {
     /// happen while the engine's connectivity invariant holds).
     pub fn preconditioner(&self) -> Result<crate::SparsifierPrecond> {
         crate::SparsifierPrecond::build(&self.h, self.epoch(), Some(&self.hierarchy))
+    }
+
+    /// Exports the engine's complete observable state for persistence.
+    ///
+    /// Everything an update decision can depend on travels: the hierarchy,
+    /// the incrementally maintained connectivity index (a fresh rebuild
+    /// can disagree with it — see [`crate::state`]), the edge-slot array
+    /// with tombstones, surplus, the undrained delta journal, and the
+    /// ledger with its drift sums. The probe scratch and the
+    /// process-unique [`InGrassEngine::instance_id`] are excluded: the
+    /// former is unobservable between probes, the latter is regenerated at
+    /// restore so caches never confuse a restored engine with its source.
+    pub fn export_state(&self) -> crate::state::EngineState {
+        crate::state::EngineState {
+            num_nodes: self.h.num_nodes(),
+            levels: self
+                .hierarchy
+                .levels()
+                .iter()
+                .map(|lvl| crate::state::LrdLevelState {
+                    cluster_of: lvl.cluster_of.clone(),
+                    diameter: lvl.diameter.clone(),
+                    size: lvl.size.clone(),
+                    num_clusters: lvl.num_clusters,
+                    threshold: lvl.threshold,
+                })
+                .collect(),
+            connectivity: self.connectivity.export_state(),
+            edge_slots: self.h.edge_slots(),
+            surplus: self.surplus.clone(),
+            setup_report: self.setup_report.clone(),
+            setup_cfg: self.setup_cfg.clone(),
+            deltas: self.deltas.clone(),
+            ledger: self.ledger.export_state(),
+            updates_applied: self.updates_applied,
+            version: self.version,
+        }
+    }
+
+    /// Restores an engine from persisted state.
+    ///
+    /// The restored engine is bit-for-bit equivalent to the exporter for
+    /// every observable computation: the same sparsifier edges (ids
+    /// included), the same hierarchy and connectivity index, the same
+    /// drift sums — so replaying a WAL tail on it reproduces the original
+    /// run exactly. Only [`InGrassEngine::instance_id`] differs (fresh by
+    /// design) and the probe scratch restarts at zero.
+    ///
+    /// # Errors
+    /// [`InGrassError::BadSparsifier`] / [`InGrassError::InvalidConfig`]
+    /// if the state is internally inconsistent (edge slots out of bounds,
+    /// hierarchy node count mismatch, surplus length disagreeing with the
+    /// edge-slot array).
+    pub fn from_state(state: crate::state::EngineState) -> Result<Self> {
+        let h = DynGraph::from_edge_slots(state.num_nodes, &state.edge_slots)?;
+        // The surplus array grows lazily (`add_surplus` resizes on first
+        // touch), so it may cover fewer slots than the sparsifier — but
+        // never more.
+        if state.surplus.len() > state.edge_slots.len() {
+            return Err(InGrassError::InvalidConfig(format!(
+                "surplus covers {} edge slots, sparsifier has only {}",
+                state.surplus.len(),
+                state.edge_slots.len()
+            )));
+        }
+        let hierarchy = LrdHierarchy::from_levels(
+            state
+                .levels
+                .into_iter()
+                .map(|lvl| LrdLevel {
+                    cluster_of: lvl.cluster_of,
+                    diameter: lvl.diameter,
+                    size: lvl.size,
+                    num_clusters: lvl.num_clusters,
+                    threshold: lvl.threshold,
+                })
+                .collect(),
+        )?;
+        if hierarchy.num_nodes() != state.num_nodes {
+            return Err(InGrassError::InvalidConfig(format!(
+                "hierarchy labels {} nodes, sparsifier has {}",
+                hierarchy.num_nodes(),
+                state.num_nodes
+            )));
+        }
+        let connectivity = ClusterConnectivity::from_state(&state.connectivity);
+        let probe_mark = vec![0; state.num_nodes];
+        Ok(InGrassEngine {
+            hierarchy,
+            connectivity,
+            h,
+            surplus: state.surplus,
+            probe_mark,
+            probe_epoch: 0,
+            setup_report: state.setup_report,
+            setup_cfg: state.setup_cfg,
+            deltas: state.deltas,
+            ledger: UpdateLedger::from_state(&state.ledger),
+            updates_applied: state.updates_applied,
+            version: state.version,
+            instance_id: ENGINE_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        })
     }
 }
 

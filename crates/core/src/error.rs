@@ -31,6 +31,79 @@ impl From<ingrass_graph::GraphError> for InGrassError {
     }
 }
 
+/// The workspace-level error: one enum the facade and the persistence
+/// layer surface, instead of leaking a per-crate error type from every
+/// call. `From` impls fold the substrate errors in, so `?` works across
+/// crate boundaries:
+///
+/// * engine errors ([`InGrassError`]) → [`IngrassError::Engine`];
+/// * graph errors ([`ingrass_graph::GraphError`]) → [`IngrassError::Graph`];
+/// * linear-algebra errors ([`ingrass_linalg::LinalgError`]) →
+///   [`IngrassError::Linalg`] (the resistance estimators have no error
+///   enum of their own — their failures surface as `LinalgError` or are
+///   folded into [`InGrassError::BadSparsifier`] at setup);
+/// * solve-service errors convert via the `From` impl in `ingrass-solve`
+///   (→ [`IngrassError::Solve`]), and store errors via the impl in
+///   `ingrass-store` (→ [`IngrassError::Store`]) — the orphan rule puts
+///   those impls next to the error types they consume.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngrassError {
+    /// An engine (setup/update/publish) error.
+    Engine(InGrassError),
+    /// A graph-substrate error.
+    Graph(ingrass_graph::GraphError),
+    /// A linear-algebra error (factorization, solver, dimension).
+    Linalg(ingrass_linalg::LinalgError),
+    /// A solve-service error (stringified; constructed by `ingrass-solve`).
+    Solve(String),
+    /// A persistence error (stringified; constructed by `ingrass-store`).
+    Store(String),
+    /// A configuration value outside its domain, caught at construction.
+    Config(String),
+}
+
+impl fmt::Display for IngrassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngrassError::Engine(e) => write!(f, "engine: {e}"),
+            IngrassError::Graph(e) => write!(f, "graph: {e}"),
+            IngrassError::Linalg(e) => write!(f, "linalg: {e}"),
+            IngrassError::Solve(msg) => write!(f, "solve: {msg}"),
+            IngrassError::Store(msg) => write!(f, "store: {msg}"),
+            IngrassError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for IngrassError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IngrassError::Engine(e) => Some(e),
+            IngrassError::Graph(e) => Some(e),
+            IngrassError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InGrassError> for IngrassError {
+    fn from(e: InGrassError) -> Self {
+        IngrassError::Engine(e)
+    }
+}
+
+impl From<ingrass_graph::GraphError> for IngrassError {
+    fn from(e: ingrass_graph::GraphError) -> Self {
+        IngrassError::Graph(e)
+    }
+}
+
+impl From<ingrass_linalg::LinalgError> for IngrassError {
+    fn from(e: ingrass_linalg::LinalgError) -> Self {
+        IngrassError::Linalg(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,5 +121,19 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<InGrassError>();
+        assert_send_sync::<IngrassError>();
+    }
+
+    #[test]
+    fn workspace_error_folds_substrate_errors() {
+        let e: IngrassError = InGrassError::InvalidConfig("x".into()).into();
+        assert!(matches!(e, IngrassError::Engine(_)));
+        assert!(e.to_string().contains("engine"));
+        let e: IngrassError = ingrass_graph::GraphError::Empty.into();
+        assert!(matches!(e, IngrassError::Graph(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: IngrassError = ingrass_linalg::LinalgError::InvalidArgument("bad".into()).into();
+        assert!(matches!(e, IngrassError::Linalg(_)));
+        assert!(e.to_string().contains("linalg"));
     }
 }

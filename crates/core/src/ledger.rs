@@ -369,6 +369,51 @@ impl UpdateLedger {
     pub fn staleness(&self) -> &StalenessTracker {
         &self.staleness
     }
+
+    /// Exports the exact ledger state for persistence — including the
+    /// drift tracker's running sums, which decide *future* re-setup
+    /// points and therefore must survive a restart bit-for-bit.
+    pub(crate) fn export_state(&self) -> crate::state::LedgerState {
+        crate::state::LedgerState {
+            inserts: self.inserts,
+            deletes: self.deletes,
+            reweights: self.reweights,
+            relinks: self.relinks,
+            vacuous: self.vacuous,
+            resetups: self.resetups,
+            drift_initial_weight: self.drift.initial_weight,
+            drift_nodes: self.drift.nodes,
+            drift_deleted_weight: self.drift.deleted_weight,
+            drift_accumulated_distortion: self.drift.accumulated_distortion,
+            drift_stale_ops: self.drift.stale_ops,
+            staleness_counts: self.staleness.counts.clone(),
+            staleness_max: self.staleness.max,
+        }
+    }
+
+    /// Rebuilds a ledger from persisted state (the inverse of
+    /// [`UpdateLedger::export_state`]).
+    pub(crate) fn from_state(state: &crate::state::LedgerState) -> Self {
+        UpdateLedger {
+            inserts: state.inserts,
+            deletes: state.deletes,
+            reweights: state.reweights,
+            relinks: state.relinks,
+            vacuous: state.vacuous,
+            resetups: state.resetups,
+            drift: DriftTracker {
+                initial_weight: state.drift_initial_weight,
+                nodes: state.drift_nodes,
+                deleted_weight: state.drift_deleted_weight,
+                accumulated_distortion: state.drift_accumulated_distortion,
+                stale_ops: state.drift_stale_ops,
+            },
+            staleness: StalenessTracker {
+                counts: state.staleness_counts.clone(),
+                max: state.staleness_max,
+            },
+        }
+    }
 }
 
 #[cfg(test)]

@@ -42,11 +42,11 @@
 //! # Quickstart
 //!
 //! ```
-//! use ingrass::{InGrassEngine, SetupConfig, UpdateConfig};
+//! use ingrass::{InGrassEngine, IngrassError, SetupConfig, UpdateConfig};
 //! use ingrass_baselines::GrassSparsifier;
 //! use ingrass_gen::{grid_2d, WeightModel};
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), IngrassError> {
 //! // The original graph and its initial sparsifier.
 //! let g0 = grid_2d(16, 16, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 1);
 //! let h0 = GrassSparsifier::default().by_offtree_density(&g0, 0.10)?;
@@ -68,7 +68,7 @@
 
 #![deny(missing_docs)]
 
-mod config;
+pub mod config;
 mod connectivity;
 mod engine;
 mod error;
@@ -78,11 +78,12 @@ mod ordering;
 mod precond;
 mod report;
 mod snapshot;
+pub mod state;
 
 pub use config::{DriftPolicy, ResistanceBackend, SetupConfig, UpdateConfig};
 pub use connectivity::ClusterConnectivity;
 pub use engine::InGrassEngine;
-pub use error::InGrassError;
+pub use error::{InGrassError, IngrassError};
 pub use ledger::{
     replay_ops, DriftTracker, ResetupReason, StalenessTracker, UpdateLedger, UpdateOp,
 };

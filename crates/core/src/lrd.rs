@@ -8,7 +8,7 @@ use ingrass_graph::{DisjointSets, Graph, NodeId};
 /// One level of the LRD hierarchy: a partition of the nodes into clusters
 /// whose effective-resistance diameter (upper bound) stays within the
 /// level's budget.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LrdLevel {
     /// Cluster index of every node (dense labels `0..num_clusters`).
     pub cluster_of: Vec<u32>,
@@ -47,6 +47,46 @@ pub struct LrdHierarchy {
 }
 
 impl LrdHierarchy {
+    /// Rebuilds a hierarchy from persisted levels (the persistence layer's
+    /// inverse of [`LrdHierarchy::levels`]).
+    ///
+    /// # Errors
+    /// [`InGrassError::BadSparsifier`] for an empty level list;
+    /// [`InGrassError::InvalidConfig`] if the levels disagree on node
+    /// count or a level's arrays disagree with its cluster count.
+    pub(crate) fn from_levels(levels: Vec<LrdLevel>) -> Result<Self> {
+        let Some(first) = levels.first() else {
+            return Err(InGrassError::BadSparsifier(
+                "hierarchy has no levels".into(),
+            ));
+        };
+        let n = first.cluster_of.len();
+        for (i, lvl) in levels.iter().enumerate() {
+            if lvl.cluster_of.len() != n {
+                return Err(InGrassError::InvalidConfig(format!(
+                    "level {i} labels {} nodes, level 0 labels {n}",
+                    lvl.cluster_of.len()
+                )));
+            }
+            if lvl.diameter.len() != lvl.num_clusters || lvl.size.len() != lvl.num_clusters {
+                return Err(InGrassError::InvalidConfig(format!(
+                    "level {i} arrays disagree with its {} clusters",
+                    lvl.num_clusters
+                )));
+            }
+            if lvl
+                .cluster_of
+                .iter()
+                .any(|&c| c as usize >= lvl.num_clusters)
+            {
+                return Err(InGrassError::InvalidConfig(format!(
+                    "level {i} has a cluster label out of range"
+                )));
+            }
+        }
+        Ok(LrdHierarchy { levels })
+    }
+
     /// Builds the hierarchy for `h0` given estimated per-edge resistances
     /// (indexed by `h0`'s edge ids).
     ///

@@ -253,6 +253,59 @@ impl SparsifierPrecond {
         self.built_nnz
     }
 
+    /// Exports the factor's exact state for persistence.
+    ///
+    /// `built_nnz` / `order_base_nnz` travel explicitly rather than being
+    /// recomputed at restore: a patched factor's live nnz differs from its
+    /// nnz at the last rebuild, and recomputing either would shift the
+    /// fill-budget and ordering-staleness decisions away from those the
+    /// original engine would have made.
+    pub(crate) fn export_state(&self) -> crate::state::PrecondState {
+        crate::state::PrecondState {
+            n: self.n,
+            ground: self.ground,
+            epoch: self.epoch,
+            built_nnz: self.built_nnz,
+            order_base_nnz: self.order_base_nnz,
+            chol: self.chol.to_state(),
+        }
+    }
+
+    /// Restores a factor from persisted state, revalidating the invariants
+    /// `apply` relies on (factor dimension matches the grounded sparsifier,
+    /// ground node in range) on top of the Cholesky-level checks.
+    pub(crate) fn from_state(state: crate::state::PrecondState) -> Result<Self> {
+        let chol = SparseCholesky::from_state(state.chol).map_err(|e| {
+            InGrassError::BadSparsifier(format!("persisted factor is invalid: {e}"))
+        })?;
+        if state.n > 0 && (state.ground >= state.n || chol.dim() + 1 != state.n) {
+            return Err(InGrassError::BadSparsifier(format!(
+                "persisted factor dimension {} does not ground {} nodes at node {}",
+                chol.dim(),
+                state.n,
+                state.ground
+            )));
+        }
+        let ground = state.ground;
+        let gperm = chol
+            .ordering()
+            .iter()
+            .map(|&g| {
+                let g = g as usize;
+                (if g >= ground { g + 1 } else { g }) as u32
+            })
+            .collect();
+        Ok(SparsifierPrecond {
+            n: state.n,
+            ground,
+            epoch: state.epoch,
+            built_nnz: state.built_nnz,
+            order_base_nnz: state.order_base_nnz,
+            chol,
+            gperm,
+        })
+    }
+
     /// The engine epoch (re-setup count) the factor was built at.
     pub fn epoch(&self) -> u64 {
         self.epoch

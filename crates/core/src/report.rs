@@ -71,7 +71,7 @@ pub enum EdgeOutcome {
 }
 
 /// Statistics of one [`crate::InGrassEngine::setup`] run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SetupReport {
     /// Nodes in the sparsifier.
     pub nodes: usize,

@@ -25,6 +25,7 @@
 
 use crate::config::SetupConfig;
 use crate::engine::InGrassEngine;
+use crate::error::InGrassError;
 use crate::ledger::UpdateOp;
 use crate::lrd::LrdHierarchy;
 use crate::precond::SparsifierPrecond;
@@ -369,6 +370,70 @@ impl Default for FactorPolicy {
     }
 }
 
+impl FactorPolicy {
+    /// Checks every field is inside its domain, so publish-time code can
+    /// rely on the values verbatim instead of clamping them silently.
+    ///
+    /// # Errors
+    /// [`InGrassError::InvalidConfig`] naming the offending field if
+    /// `fill_growth < 1` (the budget would undercut the factor's own
+    /// size), `max_patch_fraction ∉ [0, 1]`, `order_staleness < 1`, or any
+    /// of the three is not finite.
+    pub fn validate(&self) -> Result<()> {
+        if !self.fill_growth.is_finite() || self.fill_growth < 1.0 {
+            return Err(InGrassError::InvalidConfig(format!(
+                "fill_growth must be a finite value ≥ 1, got {}",
+                self.fill_growth
+            )));
+        }
+        if !self.max_patch_fraction.is_finite() || !(0.0..=1.0).contains(&self.max_patch_fraction) {
+            return Err(InGrassError::InvalidConfig(format!(
+                "max_patch_fraction must be within [0, 1], got {}",
+                self.max_patch_fraction
+            )));
+        }
+        if !self.order_staleness.is_finite() || self.order_staleness < 1.0 {
+            return Err(InGrassError::InvalidConfig(format!(
+                "order_staleness must be a finite value ≥ 1, got {}",
+                self.order_staleness
+            )));
+        }
+        Ok(())
+    }
+
+    /// Returns the policy with [`FactorPolicy::incremental`] replaced.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
+    }
+
+    /// Returns the policy with [`FactorPolicy::fill_growth`] replaced.
+    pub fn with_fill_growth(mut self, fill_growth: f64) -> Self {
+        self.fill_growth = fill_growth;
+        self
+    }
+
+    /// Returns the policy with
+    /// [`FactorPolicy::max_updates_between_refactors`] replaced.
+    pub fn with_max_updates_between_refactors(mut self, max: u64) -> Self {
+        self.max_updates_between_refactors = max;
+        self
+    }
+
+    /// Returns the policy with [`FactorPolicy::max_patch_fraction`]
+    /// replaced.
+    pub fn with_max_patch_fraction(mut self, fraction: f64) -> Self {
+        self.max_patch_fraction = fraction;
+        self
+    }
+
+    /// Returns the policy with [`FactorPolicy::order_staleness`] replaced.
+    pub fn with_order_staleness(mut self, staleness: f64) -> Self {
+        self.order_staleness = staleness;
+        self
+    }
+}
+
 /// What one [`SnapshotEngine::apply_batch`] did: the engine's own update
 /// report plus the publish that followed (if the batch changed state).
 #[derive(Debug, Clone)]
@@ -520,15 +585,31 @@ impl SnapshotEngine {
 
     /// Replaces the [`FactorPolicy`] governing incremental maintenance of
     /// the live factor (builder form).
-    pub fn with_factor_policy(mut self, policy: FactorPolicy) -> Self {
-        self.set_factor_policy(policy);
-        self
+    ///
+    /// # Errors
+    /// [`InGrassError::InvalidConfig`] if the policy fails
+    /// [`FactorPolicy::validate`] — out-of-domain values are rejected here
+    /// rather than silently clamped at publish time.
+    pub fn with_factor_policy(mut self, policy: FactorPolicy) -> Result<Self> {
+        self.set_factor_policy(policy)?;
+        Ok(self)
     }
 
     /// Replaces the [`FactorPolicy`] governing incremental maintenance of
     /// the live factor.
-    pub fn set_factor_policy(&mut self, policy: FactorPolicy) {
+    ///
+    /// # Errors
+    /// [`InGrassError::InvalidConfig`] if the policy fails
+    /// [`FactorPolicy::validate`]; the previous policy stays in effect.
+    pub fn set_factor_policy(&mut self, policy: FactorPolicy) -> Result<()> {
+        policy.validate()?;
         self.factor_policy = policy;
+        Ok(())
+    }
+
+    /// The [`FactorPolicy`] currently in effect.
+    pub fn factor_policy(&self) -> FactorPolicy {
+        self.factor_policy
     }
 
     /// Publishes that patched the live factor incrementally so far.
@@ -635,7 +716,10 @@ impl SnapshotEngine {
             && self.updates_since_refactor < policy.max_updates_between_refactors
             && (deltas.len() as f64) <= policy.max_patch_fraction * self.factor.num_nodes() as f64
         {
-            let budget = ((self.factor.built_nnz() as f64) * policy.fill_growth.max(1.0)).ceil();
+            // `fill_growth ≥ 1` is enforced at policy-set time
+            // ([`FactorPolicy::validate`]), so the budget never undercuts
+            // the factor's own size.
+            let budget = ((self.factor.built_nnz() as f64) * policy.fill_growth).ceil();
             match self.factor.apply_edge_deltas(&deltas, budget as usize) {
                 Ok(()) => factor_updated = true,
                 // A failed patch may have applied a prefix of the batch:
@@ -691,6 +775,77 @@ impl SnapshotEngine {
         };
         self.cell.store(snap);
         Ok(report)
+    }
+
+    /// Exports the serving layer's complete state for persistence: the
+    /// wrapped engine ([`crate::InGrassEngine::export_state`]), the live
+    /// factor with its accumulated rank-1 patches intact, and the
+    /// policy counters that drive future maintenance-tier decisions.
+    ///
+    /// This is the payload `ingrass-store` serializes into durable
+    /// snapshots; [`SnapshotEngine::from_state`] is its inverse.
+    pub fn export_state(&self) -> crate::state::ServingState {
+        crate::state::ServingState {
+            engine: self.engine.export_state(),
+            factor: self.factor.export_state(),
+            factor_valid: self.factor_valid,
+            sequence: self.sequence,
+            factor_policy: self.factor_policy,
+            updates_since_refactor: self.updates_since_refactor,
+            factor_updates: self.factor_updates,
+            factor_refactors: self.factor_refactors,
+        }
+    }
+
+    /// Restores a serving engine from persisted state and publishes the
+    /// restored view as the current snapshot (at the *restored* sequence
+    /// number — restoring is not a publish).
+    ///
+    /// Unlike [`SnapshotEngine::from_engine`], this must **not** drain the
+    /// engine's delta journal or rebuild the factor: the persisted factor
+    /// already reflects exactly the deltas drained before export, and the
+    /// journal holds exactly those not yet applied to it — rebuilding
+    /// either would fork the restored run's rounding from the original's.
+    ///
+    /// # Errors
+    /// [`InGrassError::InvalidConfig`] /
+    /// [`InGrassError::BadSparsifier`] if the engine state, factor state,
+    /// or factor policy fails validation, or if the factor's dimension
+    /// disagrees with the restored sparsifier.
+    pub fn from_state(state: crate::state::ServingState) -> Result<Self> {
+        state.factor_policy.validate()?;
+        let engine = InGrassEngine::from_state(state.engine)?;
+        let factor = SparsifierPrecond::from_state(state.factor)?;
+        if factor.num_nodes() != engine.sparsifier().num_nodes() {
+            return Err(InGrassError::BadSparsifier(format!(
+                "persisted factor grounds {} nodes, sparsifier has {}",
+                factor.num_nodes(),
+                engine.sparsifier().num_nodes()
+            )));
+        }
+        let hierarchy = Arc::new(engine.hierarchy().clone());
+        let hierarchy_epoch = engine.epoch();
+        let snap = SparsifierSnapshot::capture(
+            &engine,
+            Arc::clone(&hierarchy),
+            state.sequence,
+            factor.clone(),
+        )?;
+        Ok(SnapshotEngine {
+            engine,
+            hierarchy,
+            hierarchy_epoch,
+            cell: Arc::new(SnapshotCell {
+                current: RwLock::new(Arc::new(snap)),
+            }),
+            sequence: state.sequence,
+            factor,
+            factor_valid: state.factor_valid,
+            factor_policy: state.factor_policy,
+            updates_since_refactor: state.updates_since_refactor,
+            factor_updates: state.factor_updates,
+            factor_refactors: state.factor_refactors,
+        })
     }
 }
 

@@ -297,6 +297,69 @@ impl DynGraph {
         let edges: Vec<Edge> = self.edges_iter().map(|(_, e)| e).collect();
         Graph::from_canonical_edges(self.n, edges)
     }
+
+    /// The full edge-slot array for persistence, *including tombstones*:
+    /// entry `i` is `Some((u, v, w))` if edge id `i` is live and `None` if
+    /// the id has been removed. Ids are array positions, so a graph rebuilt
+    /// with [`DynGraph::from_edge_slots`] preserves every live edge id —
+    /// which id-keyed structures (cluster connectivity, edge-delta
+    /// journals) require across a save/restore cycle.
+    pub fn edge_slots(&self) -> Vec<Option<(u32, u32, f64)>> {
+        self.edges
+            .iter()
+            .map(|s| s.map(|e| (e.u.raw(), e.v.raw(), e.weight)))
+            .collect()
+    }
+
+    /// Rebuilds a graph from a persisted edge-slot array (the inverse of
+    /// [`DynGraph::edge_slots`]).
+    ///
+    /// Live edge ids equal their slot positions; adjacency lists are
+    /// rebuilt in id order with no dead entries, which is observationally
+    /// identical to any compaction state the original graph was in (the
+    /// engine only ever consumes adjacency through live-edge iteration).
+    ///
+    /// # Errors
+    /// [`GraphError::NodeOutOfBounds`] / [`GraphError::InvalidEdge`] on
+    /// out-of-range endpoints, self-loops, non-positive weights, or a
+    /// duplicate live pair.
+    pub fn from_edge_slots(n: usize, slots: &[Option<(u32, u32, f64)>]) -> Result<Self> {
+        let mut d = DynGraph::new(n);
+        d.edges.reserve(slots.len());
+        for (i, slot) in slots.iter().enumerate() {
+            let Some((u, v, w)) = *slot else {
+                d.edges.push(None);
+                continue;
+            };
+            if u as usize >= n || v as usize >= n {
+                return Err(GraphError::NodeOutOfBounds {
+                    node: u.max(v) as usize,
+                    num_nodes: n,
+                });
+            }
+            if u == v {
+                return Err(GraphError::InvalidEdge(format!("self-loop in slot {i}")));
+            }
+            if w <= 0.0 || !w.is_finite() {
+                return Err(GraphError::InvalidEdge(format!(
+                    "slot {i} weight must be positive and finite, got {w}"
+                )));
+            }
+            let id = i as u32;
+            let key = (u.min(v), u.max(v));
+            if d.index.insert(key, id).is_some() {
+                return Err(GraphError::InvalidEdge(format!(
+                    "duplicate live edge {{{u}, {v}}} at slot {i}"
+                )));
+            }
+            d.edges
+                .push(Some(Edge::new(NodeId::from(u), NodeId::from(v), w)));
+            d.adj[u as usize].push((v, id));
+            d.adj[v as usize].push((u, id));
+            d.live_edges += 1;
+        }
+        Ok(d)
+    }
 }
 
 #[cfg(test)]

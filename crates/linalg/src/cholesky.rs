@@ -651,6 +651,123 @@ impl SparseCholesky {
         self.solve_into(b, &mut x);
         x
     }
+
+    /// Exports the exact factor state for persistence.
+    ///
+    /// The returned arrays are bit-identical copies of the internal
+    /// representation (the inverse permutation is derived, not stored), so
+    /// [`SparseCholesky::from_state`] round-trips to a factor whose solves
+    /// and incremental updates are bit-for-bit identical to this one — the
+    /// property the recovery parity proptests pin.
+    pub fn to_state(&self) -> CholeskyState {
+        CholeskyState {
+            n: self.n,
+            perm: self.perm.clone(),
+            col_ptr: self.col_ptr.clone(),
+            row_idx: self.row_idx.clone(),
+            values: self.values.clone(),
+        }
+    }
+
+    /// Rebuilds a factor from persisted state, validating the structural
+    /// invariants the solve and update kernels rely on.
+    ///
+    /// # Errors
+    /// [`LinalgError::InvalidArgument`] if the permutation is malformed,
+    /// the column pointers are inconsistent, a row index is out of range or
+    /// out of order, or a diagonal value is non-positive.
+    pub fn from_state(state: CholeskyState) -> Result<Self, LinalgError> {
+        let CholeskyState {
+            n,
+            perm,
+            col_ptr,
+            row_idx,
+            values,
+        } = state;
+        if perm.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: perm.len(),
+            });
+        }
+        let mut iperm = vec![u32::MAX; n];
+        for (k, &old) in perm.iter().enumerate() {
+            let old = old as usize;
+            if old >= n || iperm[old] != u32::MAX {
+                return Err(LinalgError::InvalidArgument(
+                    "ordering is not a permutation".into(),
+                ));
+            }
+            iperm[old] = k as u32;
+        }
+        if col_ptr.len() != n + 1 || col_ptr[0] != 0 {
+            return Err(LinalgError::InvalidArgument(
+                "cholesky state: column pointers must have n + 1 entries starting at 0".into(),
+            ));
+        }
+        if col_ptr[n] != row_idx.len() || row_idx.len() != values.len() {
+            return Err(LinalgError::InvalidArgument(
+                "cholesky state: value/index arrays disagree with pointers".into(),
+            ));
+        }
+        for j in 0..n {
+            let (lo, hi) = (col_ptr[j], col_ptr[j + 1]);
+            if lo >= hi || hi > row_idx.len() {
+                return Err(LinalgError::InvalidArgument(format!(
+                    "cholesky state: column {j} is empty or pointers out of bounds"
+                )));
+            }
+            if row_idx[lo] as usize != j {
+                return Err(LinalgError::InvalidArgument(format!(
+                    "cholesky state: column {j} does not start with its diagonal"
+                )));
+            }
+            if !(values[lo].is_finite() && values[lo] > 0.0) {
+                return Err(LinalgError::InvalidArgument(format!(
+                    "cholesky state: non-positive diagonal in column {j}"
+                )));
+            }
+            let mut prev = j as u32;
+            for p in lo + 1..hi {
+                let r = row_idx[p];
+                if r as usize >= n || r <= prev {
+                    return Err(LinalgError::InvalidArgument(format!(
+                        "cholesky state: rows of column {j} not strictly ascending"
+                    )));
+                }
+                prev = r;
+            }
+        }
+        Ok(SparseCholesky {
+            n,
+            perm,
+            iperm,
+            col_ptr,
+            row_idx,
+            values,
+        })
+    }
+}
+
+/// Exact, serializable state of a [`SparseCholesky`] factor.
+///
+/// All fields are public plain data so a persistence layer can encode them
+/// without this crate knowing the wire format. Produced by
+/// [`SparseCholesky::to_state`]; consumed (with validation) by
+/// [`SparseCholesky::from_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CholeskyState {
+    /// Dimension of the factored matrix.
+    pub n: usize,
+    /// Elimination order: `perm[k]` = original index of pivot `k`.
+    pub perm: Vec<u32>,
+    /// Column pointers of `L` (length `n + 1`).
+    pub col_ptr: Vec<usize>,
+    /// Row indices of `L` (diagonal first per column, then strictly
+    /// ascending).
+    pub row_idx: Vec<u32>,
+    /// Numeric values of `L`, aligned with `row_idx`.
+    pub values: Vec<f64>,
 }
 
 impl Preconditioner for SparseCholesky {

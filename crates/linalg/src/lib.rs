@@ -55,7 +55,8 @@ pub mod vector;
 
 pub use cg::{pcg, pcg_multi, CgOptions, CgResult, IdentityPrecond, JacobiPrecond, Preconditioner};
 pub use cholesky::{
-    min_degree_order, min_degree_order_with_hints, min_degree_order_with_priority, SparseCholesky,
+    min_degree_order, min_degree_order_with_hints, min_degree_order_with_priority, CholeskyState,
+    SparseCholesky,
 };
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;

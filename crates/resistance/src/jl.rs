@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 /// Configuration for [`JlEmbedder::build`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JlConfig {
     /// Number of random projections `k`. `None` picks `4·⌈log₂ n⌉ + 8`
     /// (≈ ε = 0.7 guarantees; plenty for ranking and within ~20 % typical

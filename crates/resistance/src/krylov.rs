@@ -43,7 +43,7 @@ impl Default for KrylovOperator {
 }
 
 /// Configuration for [`KrylovEmbedder::build`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KrylovConfig {
     /// Krylov subspace order `m` (embedding dimension). `None` picks
     /// `⌈log₂ n⌉ + 4`, matching the paper's `O(log N)` prescription with a

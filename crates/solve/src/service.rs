@@ -128,6 +128,15 @@ impl From<InGrassError> for SolveError {
     }
 }
 
+/// Folds solve-service errors into the workspace-level error (the impl
+/// lives here, next to [`SolveError`], because of the orphan rule — see
+/// [`ingrass::IngrassError`]).
+impl From<SolveError> for ingrass::IngrassError {
+    fn from(e: SolveError) -> Self {
+        ingrass::IngrassError::Solve(e.to_string())
+    }
+}
+
 /// Configuration of a [`SolveService`].
 #[derive(Debug, Clone)]
 pub struct SolveConfig {

@@ -17,15 +17,19 @@
 //! | [`metrics`] | `ingrass-metrics` | relative condition number, density, distortion stats |
 //! | [`par`] | `ingrass-par` | deterministic parallel primitives (`par_map`/`scope`, `INGRASS_THREADS`) |
 //! | [`solve`] | `ingrass-solve` | sparsifier-preconditioned Laplacian solve services (cached factorizations, multi-RHS PCG, concurrent snapshot serving) |
+//! | [`store`] | `ingrass-store` | durable WAL + snapshot persistence, crash recovery via [`PersistentEngine`](store::PersistentEngine) |
 //!
-//! The [`prelude`] pulls in the names used by virtually every program.
+//! The [`prelude`] pulls in the names used by virtually every program, the
+//! [`config`] module gathers every tuning knob in one place, and every
+//! fallible path folds into the workspace-level
+//! [`IngrassError`](core::IngrassError).
 //!
 //! # Example
 //!
 //! ```
 //! use ingrass_repro::prelude::*;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), IngrassError> {
 //! // 1. A workload graph and its initial sparsifier.
 //! let g0 = grid_2d(16, 16, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 1);
 //! let h0 = GrassSparsifier::default().by_offtree_density(&g0, 0.10)?;
@@ -54,13 +58,30 @@ pub use ingrass_metrics as metrics;
 pub use ingrass_par as par;
 pub use ingrass_resistance as resistance;
 pub use ingrass_solve as solve;
+pub use ingrass_store as store;
+
+/// Every tuning knob in the workspace, gathered in one module.
+///
+/// Mirrors [`ingrass::config`](core::config) and extends it with the
+/// solve- and persistence-layer policies, so programs can write
+/// `use ingrass_repro::config::*;` and reach every configuration type
+/// without memorising which crate owns it.
+pub mod config {
+    pub use ingrass::config::{
+        DriftPolicy, FactorPolicy, JlConfig, KrylovConfig, KrylovOperator, ResistanceBackend,
+        SetupConfig, UpdateConfig,
+    };
+    pub use ingrass_solve::{PrecondStrategy, SolveConfig};
+    pub use ingrass_store::StorePolicy;
+}
 
 /// The names almost every downstream program needs.
 pub mod prelude {
     pub use crate::churn_to_update_ops;
     pub use ingrass::{
-        DriftPolicy, InGrassEngine, InGrassError, LrdHierarchy, ResistanceBackend, SetupConfig,
-        SnapshotEngine, SnapshotReader, SparsifierSnapshot, UpdateConfig, UpdateLedger, UpdateOp,
+        DriftPolicy, FactorPolicy, InGrassEngine, InGrassError, IngrassError, LrdHierarchy,
+        ResistanceBackend, SetupConfig, SnapshotEngine, SnapshotReader, SparsifierSnapshot,
+        UpdateConfig, UpdateLedger, UpdateOp,
     };
     pub use ingrass_baselines::{GrassConfig, GrassSparsifier, RandomSparsifier, TreeKind};
     pub use ingrass_gen::{
@@ -80,6 +101,7 @@ pub mod prelude {
         ConcurrentSolveService, PrecondKind, PrecondStrategy, SolveConfig, SolveReport,
         SolveService,
     };
+    pub use ingrass_store::{PersistentEngine, RecoveryReport, StoreError, StorePolicy};
 }
 
 /// The master seed the integration test suites derive their randomness
