@@ -41,18 +41,24 @@
 //! `recover/<case>` scenario per case measuring the persistence layer —
 //! crash recovery (`PersistentEngine::open`: newest snapshot + WAL-tail
 //! replay) against from-scratch engine setup on the same sparsifier — and
-//! gates its `recover_wall_s`. The gate refuses a baseline whose
+//! gates its `recover_wall_s`. Schema 3 adds one `shard/<case>` scenario
+//! per case measuring the sharded multi-writer engine (`ShardedEngine`,
+//! S=4) under a shard-skewed churn stream — summed per-shard update wall
+//! vs the single-engine wall, work-imbalance ratio, boundary-graph size,
+//! and stitched Schur-complement PCG iterations vs the mono
+//! preconditioner — and gates `shard_update_wall_s` and
+//! `shard_publish_wall_s`. The gate refuses a baseline whose
 //! `schema_version` differs from this binary's: a schema change without a
 //! baseline regenerated in the same PR guards nothing.
 
 use ingrass::{
-    InGrassEngine, PhaseTimer, ResistanceBackend, SetupConfig, SnapshotEngine, UpdateConfig,
-    UpdateOp,
+    InGrassEngine, PhaseTimer, ResistanceBackend, SetupConfig, ShardedConfig, ShardedEngine,
+    SnapshotEngine, UpdateConfig, UpdateOp,
 };
 use ingrass_baselines::GrassSparsifier;
 use ingrass_bench::fmt_secs;
 use ingrass_bench::json::{obj, scenario_metrics, Json};
-use ingrass_gen::{ChurnConfig, ChurnOp, ChurnStream, InsertionStream, TestCase};
+use ingrass_gen::{ChurnConfig, ChurnOp, ChurnStream, InsertionStream, ShardSkew, TestCase};
 use ingrass_graph::{DynGraph, Graph};
 use ingrass_metrics::{
     estimate_condition_number, ConditionOptions, ConditionTrajectory, LatencySummary,
@@ -69,8 +75,11 @@ use std::sync::Arc;
 /// grows** (readers must check it; the gate refuses mismatched
 /// baselines). 1 → 2: `recover/<case>` scenarios added and their
 /// `recover_wall_s` joined the gated set — a schema-1 baseline can no
-/// longer vouch for the full matrix.
-const SCHEMA_VERSION: f64 = 2.0;
+/// longer vouch for the full matrix. 2 → 3: `shard/<case>` scenarios
+/// added (sharded multi-writer engine over a shard-skewed churn stream)
+/// and their `shard_update_wall_s` / `shard_publish_wall_s` joined the
+/// gated set.
+const SCHEMA_VERSION: f64 = 3.0;
 
 /// Times a fixed integer-arithmetic kernel (~1.6·10⁸ wrapping ops) as a
 /// machine-speed proxy. The regression gate scales baseline wall times by
@@ -780,6 +789,179 @@ fn run_recover_scenario(case: TestCase, fixture: &CaseFixture, args: &Args) -> J
     ])
 }
 
+/// Shard count of the `shard/<case>` scenarios.
+const SHARD_COUNT: usize = 4;
+/// Fraction of intra-cluster inserts biased onto the hottest shard.
+const SHARD_HOT_FRACTION: f64 = 0.2;
+/// Fraction of inserts forced across shard boundaries.
+const SHARD_CROSS_FRACTION: f64 = 0.15;
+
+/// Runs the shard scenario of one case: a `ShardedEngine` (S=4) and a
+/// single `InGrassEngine` replay the same shard-skewed churn stream (the
+/// skew derives from the sharded engine's own routing table: 20 % of
+/// intra-cluster inserts biased onto one hot shard, 15 % of inserts forced
+/// across shard boundaries). Tracked against the acceptance bars:
+///
+/// * `shard_update_wall_s` — per-shard update wall times *summed* (the
+///   total work the shards did; the bar is ≤ 1.25× the single-engine
+///   wall, checked inline above the 5 ms noise floor);
+/// * `imbalance_ratio` — max/mean per-shard routed ops (bar ≤ 2.0,
+///   checked inline — it is seed-deterministic);
+/// * boundary-graph size and relink count;
+/// * stitched Schur-complement PCG iterations against the mono
+///   preconditioner on identical systems.
+fn run_shard_scenario(case: TestCase, fixture: &CaseFixture, args: &Args) -> Json {
+    let setup_cfg = SetupConfig::default()
+        .with_seed(args.seed)
+        .with_resistance(backend_config("krylov", args.threads));
+    let mut sharded = ShardedEngine::setup(
+        &fixture.h0,
+        &setup_cfg,
+        &ShardedConfig::default().with_shards(SHARD_COUNT),
+    )
+    .expect("shard setup");
+    let mut mono = InGrassEngine::setup(&fixture.h0, &setup_cfg).expect("shard mono setup");
+
+    // The skewed stream: labels are the sharded engine's own routing
+    // table, so "hot shard" and "cross-shard" mean exactly what the
+    // coordinator will see.
+    let skew = ShardSkew {
+        labels: sharded.routing().shard_of_slice().to_vec(),
+        hot_fraction: SHARD_HOT_FRACTION,
+        cross_fraction: SHARD_CROSS_FRACTION,
+        hot_label: 0,
+    };
+    let churn = ChurnStream::generate_with_skew(
+        &fixture.g0,
+        &ChurnConfig::paper_shaped(&fixture.g0, args.seed ^ 0x5a4d),
+        &skew,
+    );
+    let ucfg = UpdateConfig::default();
+
+    let mut timer = PhaseTimer::start();
+    let mut mono_wall = std::time::Duration::ZERO;
+    let mut boundary_ops = 0usize;
+    let mut intra_ops = 0usize;
+    for batch in churn.batches() {
+        let ops = to_update_ops(batch);
+        timer.lap();
+        mono.apply_batch(&ops, &ucfg).expect("shard mono update");
+        mono_wall += timer.lap();
+        let report = sharded.apply_batch(&ops, &ucfg).expect("shard update");
+        boundary_ops += report.boundary_ops;
+        intra_ops += report.intra_ops;
+    }
+    let publish_report = sharded.publish().expect("shard publish");
+    let stats = publish_report.shard.expect("sharded publish carries stats");
+    let shard_wall = stats.update.total_seconds();
+    let mono_wall_s = mono_wall.as_secs_f64();
+
+    // Inline acceptance: the imbalance bar is deterministic; the wall bar
+    // only gates above the noise floor (at --scale tiny both engines
+    // finish in microseconds).
+    assert!(
+        stats.imbalance_ratio <= 2.0,
+        "{}: shard work imbalance {:.3} exceeds 2.0 (max {} of {} ops)",
+        case.name(),
+        stats.imbalance_ratio,
+        stats.max_shard_ops,
+        stats.total_shard_ops,
+    );
+    const WALL_FLOOR_S: f64 = 0.005;
+    if mono_wall_s > WALL_FLOOR_S {
+        assert!(
+            shard_wall <= 1.25 * mono_wall_s + WALL_FLOOR_S,
+            "{}: summed per-shard update wall {:.4}s exceeds 1.25x the \
+             single-engine wall {:.4}s",
+            case.name(),
+            shard_wall,
+            mono_wall_s,
+        );
+    }
+
+    // Stitched vs mono PCG on identical systems: the final churned graph's
+    // Laplacian, preconditioned by the stitched Schur-complement factor
+    // and by the mono engine's factor (same pinned Cholesky strategy as
+    // the solve scenario).
+    let g_now = churn.apply_to(&fixture.g0).expect("churn replay");
+    let lap = g_now.laplacian();
+    let n = fixture.g0.num_nodes();
+    let rhss = solve_rhs_batch(n, args.seed ^ 0x54a6, 4);
+    let solve_cfg = SolveConfig {
+        strategy: ingrass_solve::PrecondStrategy::Cholesky,
+        ..Default::default()
+    };
+    let mut svc = SolveService::new(solve_cfg.clone());
+    let snap = sharded.snapshot();
+    let (_, stitched) = svc
+        .solve_snapshot_batch(&snap, &lap, &rhss)
+        .expect("stitched solve");
+    let mut mono_svc = SolveService::new(solve_cfg);
+    let (_, mono_solve) = mono_svc
+        .solve_batch(&mono, &lap, &rhss)
+        .expect("shard mono solve");
+    let stitched_iters = stitched.total_iterations();
+    let mono_iters = mono_solve.total_iterations();
+
+    println!(
+        "{:<14} shard   update {:>10} vs mono {:>10} ({:.2}x)  imbalance {:.2}  boundary {} edges  pcg {:>4} vs {:>4}",
+        case.name(),
+        fmt_secs(shard_wall),
+        fmt_secs(mono_wall_s),
+        shard_wall / mono_wall_s.max(f64::MIN_POSITIVE),
+        stats.imbalance_ratio,
+        stats.boundary_edges,
+        stitched_iters,
+        mono_iters,
+    );
+
+    obj(vec![
+        ("id", Json::Str(format!("shard/{}", case.name()))),
+        ("case", Json::Str(case.name().to_string())),
+        ("backend", Json::Str("krylov".to_string())),
+        ("kind", Json::Str("shard".to_string())),
+        ("nodes", Json::Num(fixture.g0.num_nodes() as f64)),
+        ("edges", Json::Num(fixture.g0.num_edges() as f64)),
+        ("shards", Json::Num(stats.shards as f64)),
+        ("hot_fraction", Json::Num(SHARD_HOT_FRACTION)),
+        ("cross_fraction", Json::Num(SHARD_CROSS_FRACTION)),
+        ("churn_ops", Json::Num(churn.total_ops() as f64)),
+        ("intra_ops", Json::Num(intra_ops as f64)),
+        ("boundary_ops", Json::Num(boundary_ops as f64)),
+        ("shard_update_wall_s", Json::Num(shard_wall)),
+        ("mono_update_wall_s", Json::Num(mono_wall_s)),
+        (
+            "shard_wall_ratio_vs_mono",
+            Json::Num(shard_wall / mono_wall_s.max(f64::MIN_POSITIVE)),
+        ),
+        ("imbalance_ratio", Json::Num(stats.imbalance_ratio)),
+        ("max_shard_ops", Json::Num(stats.max_shard_ops as f64)),
+        ("total_shard_ops", Json::Num(stats.total_shard_ops as f64)),
+        ("boundary_edges", Json::Num(stats.boundary_edges as f64)),
+        ("boundary_nodes", Json::Num(stats.boundary_nodes as f64)),
+        (
+            "boundary_relinks",
+            Json::Num(sharded.boundary_relinks() as f64),
+        ),
+        (
+            "shard_publish_wall_s",
+            Json::Num(publish_report.publish_seconds),
+        ),
+        ("factor_nnz", Json::Num(publish_report.factor_nnz as f64)),
+        ("stitched_pcg_iters_total", Json::Num(stitched_iters as f64)),
+        ("mono_pcg_iters_total", Json::Num(mono_iters as f64)),
+        (
+            "stitched_iter_ratio",
+            Json::Num(stitched_iters as f64 / mono_iters.max(1) as f64),
+        ),
+        (
+            "stitched_converged",
+            Json::Bool(stitched.all_converged() && mono_solve.all_converged()),
+        ),
+        ("resetups", Json::Num(sharded.epoch() as f64)),
+    ])
+}
+
 /// Runs one (case, backend) scenario: inGRASS setup (timed, with the
 /// engine's own phase breakdown) → the paper's 10-batch insertion stream
 /// (timed) → final condition number and off-tree density against the
@@ -900,7 +1082,7 @@ fn regressions(current: &Json, baseline: &Json, tolerance: f64) -> Vec<String> {
     // likewise the serving keys once a baseline carries `serve/<case>`
     // scenarios (snapshot publish latency and drain throughput are the
     // serving layer's tracked metrics).
-    const GATED: [&str; 8] = [
+    const GATED: [&str; 10] = [
         "setup_wall_s",
         "update_wall_s",
         "factor_wall_s",
@@ -909,6 +1091,8 @@ fn regressions(current: &Json, baseline: &Json, tolerance: f64) -> Vec<String> {
         "publish_wall_s",
         "serve_solve_wall_s",
         "recover_wall_s",
+        "shard_update_wall_s",
+        "shard_publish_wall_s",
     ];
     // Absolute floor absorbing scheduler/timer noise on sub-5 ms scenarios.
     const FLOOR_S: f64 = 0.005;
@@ -979,6 +1163,7 @@ fn main() -> ExitCode {
         scenarios.push(run_solve_scenario(case, &fixture, &args));
         scenarios.push(run_serve_scenario(case, &fixture, &args));
         scenarios.push(run_recover_scenario(case, &fixture, &args));
+        scenarios.push(run_shard_scenario(case, &fixture, &args));
     }
 
     let doc = obj(vec![

@@ -72,6 +72,14 @@ pub struct InGrassEngine {
 /// Process-wide counter backing [`InGrassEngine::instance_id`].
 static ENGINE_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
+/// Allocates a fresh process-unique identity from the same counter the
+/// engines use, so sharded coordinators and single engines share one id
+/// space (external caches key on `(instance_id, epoch)` and must never
+/// collide across the two kinds).
+pub(crate) fn next_instance_id() -> u64 {
+    ENGINE_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 impl InGrassEngine {
     /// Runs the one-time setup phase on the initial sparsifier `h0`.
     ///
@@ -107,10 +115,13 @@ impl InGrassEngine {
         })
     }
 
-    /// The three setup phases, shared by [`InGrassEngine::setup`] and every
-    /// drift-driven re-setup.
-    fn build_artifacts(h0: &Graph, cfg: &SetupConfig) -> Result<SetupArtifacts> {
-        let mut timer = PhaseTimer::start();
+    /// Validates the input graph and runs setup phase 1: per-edge
+    /// effective-resistance estimates with the configured backend.
+    ///
+    /// Shared by [`InGrassEngine::build_artifacts`] and the sharded
+    /// coordinator (`crate::shard`), which needs a *global* hierarchy for
+    /// its routing table without paying for a full engine setup.
+    pub(crate) fn estimate_edge_resistances(h0: &Graph, cfg: &SetupConfig) -> Result<Vec<f64>> {
         if h0.num_nodes() == 0 {
             return Err(InGrassError::BadSparsifier("no nodes".into()));
         }
@@ -119,11 +130,7 @@ impl InGrassEngine {
                 "initial sparsifier must be connected".into(),
             ));
         }
-
-        // Phase 1: per-edge effective resistance estimates. (The lap up to
-        // here is input validation; it belongs to no phase.)
-        timer.lap();
-        let edge_resistance: Vec<f64> = match &cfg.resistance {
+        Ok(match &cfg.resistance {
             ResistanceBackend::Krylov(kc) => {
                 let kc = kc.clone().with_seed(cfg.seed);
                 let emb = KrylovEmbedder::build(h0, &kc)
@@ -137,7 +144,16 @@ impl InGrassEngine {
                 emb.edge_resistances(h0)
             }
             ResistanceBackend::LocalOnly => h0.edges().iter().map(|e| 1.0 / e.weight).collect(),
-        };
+        })
+    }
+
+    /// The three setup phases, shared by [`InGrassEngine::setup`] and every
+    /// drift-driven re-setup.
+    fn build_artifacts(h0: &Graph, cfg: &SetupConfig) -> Result<SetupArtifacts> {
+        let mut timer = PhaseTimer::start();
+        // Phase 1 (including input validation): per-edge effective
+        // resistance estimates.
+        let edge_resistance = Self::estimate_edge_resistances(h0, cfg)?;
         let resistance_time = timer.lap();
 
         // Phase 2: multilevel LRD decomposition.

@@ -77,6 +77,7 @@ mod lrd;
 mod ordering;
 mod precond;
 mod report;
+mod shard;
 mod snapshot;
 pub mod state;
 
@@ -91,9 +92,12 @@ pub use lrd::{LrdHierarchy, LrdLevel};
 pub use ordering::lrd_nested_dissection_order;
 pub use precond::SparsifierPrecond;
 pub use report::{EdgeOutcome, PhaseTimer, SetupReport, UpdateReport};
+pub use shard::{
+    BoundaryGraph, ShardRouting, ShardedBatchReport, ShardedConfig, ShardedEngine, StitchedPrecond,
+};
 pub use snapshot::{
     BatchPublishReport, FactorPolicy, PublishReport, ResistanceSummary, SnapshotEngine,
-    SnapshotReader, SparsifierSnapshot,
+    SnapshotPrecond, SnapshotReader, SparsifierSnapshot,
 };
 
 /// Crate-wide result alias.

@@ -1,0 +1,149 @@
+//! The coordinator's cross-shard boundary graph.
+//!
+//! Edges whose endpoints live on different shards never enter a shard
+//! engine; they live here, keyed by unordered global endpoint pair in a
+//! `BTreeMap` so iteration order (and therefore everything derived from
+//! it — assembled graphs, stitched factors, checksums) is deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The cross-shard edge set of a [`crate::ShardedEngine`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BoundaryGraph {
+    edges: BTreeMap<(u32, u32), f64>,
+}
+
+fn key(u: usize, v: usize) -> (u32, u32) {
+    let (u, v) = (u as u32, v as u32);
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+impl BoundaryGraph {
+    /// An empty boundary graph.
+    pub fn new() -> BoundaryGraph {
+        BoundaryGraph::default()
+    }
+
+    /// Number of boundary edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the boundary is empty (single shard, or no cross edges).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Adds `w` to the edge `{u, v}`, creating it if absent (parallel
+    /// logical edges coalesce, mirroring `Graph::from_edges`). Returns
+    /// `true` if the pair was new.
+    pub fn insert(&mut self, u: usize, v: usize, w: f64) -> bool {
+        let mut created = false;
+        self.edges
+            .entry(key(u, v))
+            .and_modify(|cur| *cur += w)
+            .or_insert_with(|| {
+                created = true;
+                w
+            });
+        created
+    }
+
+    /// Removes the edge `{u, v}`, returning its weight if present.
+    pub fn remove(&mut self, u: usize, v: usize) -> Option<f64> {
+        self.edges.remove(&key(u, v))
+    }
+
+    /// Overwrites the weight of `{u, v}`; `false` (and no change) if the
+    /// boundary does not carry the pair.
+    pub fn set_weight(&mut self, u: usize, v: usize, w: f64) -> bool {
+        match self.edges.get_mut(&key(u, v)) {
+            Some(cur) => {
+                *cur = w;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current weight of `{u, v}`, if carried.
+    pub fn weight(&self, u: usize, v: usize) -> Option<f64> {
+        self.edges.get(&key(u, v)).copied()
+    }
+
+    /// Iterates edges as `(u, v, w)` with `u < v`, ascending by pair.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        self.edges.iter().map(|(&(u, v), &w)| (u, v, w))
+    }
+
+    /// Sum of boundary edge weights.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.values().sum()
+    }
+
+    /// Distinct endpoints of boundary edges.
+    pub fn node_count(&self) -> usize {
+        let mut nodes: BTreeSet<u32> = BTreeSet::new();
+        for &(u, v) in self.edges.keys() {
+            nodes.insert(u);
+            nodes.insert(v);
+        }
+        nodes.len()
+    }
+
+    /// The edge list in iteration order (persistence export).
+    pub fn to_edges(&self) -> Vec<(u32, u32, f64)> {
+        self.iter().collect()
+    }
+
+    /// Rebuilds a boundary graph from an exported edge list (pairs
+    /// re-normalised and coalesced, so any valid list round-trips).
+    pub fn from_edges(edges: &[(u32, u32, f64)]) -> BoundaryGraph {
+        let mut b = BoundaryGraph::new();
+        for &(u, v, w) in edges {
+            b.insert(u as usize, v as usize, w);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_coalesces_and_orientation_is_canonical() {
+        let mut b = BoundaryGraph::new();
+        assert!(b.insert(5, 2, 1.0));
+        assert!(!b.insert(2, 5, 0.5));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.weight(5, 2), Some(1.5));
+        assert_eq!(b.iter().next(), Some((2, 5, 1.5)));
+        assert_eq!(b.node_count(), 2);
+    }
+
+    #[test]
+    fn remove_and_set_weight_report_presence() {
+        let mut b = BoundaryGraph::new();
+        b.insert(0, 3, 2.0);
+        assert!(!b.set_weight(1, 2, 9.0));
+        assert!(b.set_weight(3, 0, 4.0));
+        assert_eq!(b.total_weight(), 4.0);
+        assert_eq!(b.remove(0, 3), Some(4.0));
+        assert_eq!(b.remove(0, 3), None);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn export_round_trips() {
+        let mut b = BoundaryGraph::new();
+        b.insert(7, 1, 0.5);
+        b.insert(4, 9, 2.5);
+        let b2 = BoundaryGraph::from_edges(&b.to_edges());
+        assert_eq!(b, b2);
+    }
+}

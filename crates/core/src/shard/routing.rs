@@ -1,0 +1,344 @@
+//! Deterministic shard routing derived from the LRD hierarchy.
+//!
+//! The partition unit is an LRD cluster, never a single node: the
+//! coarsest level with at least `S` clusters whose largest cluster fits
+//! within the mean shard size is chosen (an oversized cluster would cap
+//! achievable balance; when no level meets the cap the finest level with
+//! `S` clusters is used), its `S` largest
+//! clusters seed the shards, and the remaining clusters attach greedily
+//! (smallest shard first, largest adjacent cluster first) along the
+//! cluster-quotient adjacency of the sparsifier. Because LRD clusters
+//! are internally connected and growth only follows quotient edges,
+//! every shard's induced subgraph is connected — the invariant each
+//! per-shard `InGrassEngine` requires at setup.
+//!
+//! The table is a pure function of `(hierarchy, graph edge list, S)`:
+//! rebuilt on every drift re-setup, identical at any thread width.
+
+use crate::lrd::LrdHierarchy;
+use ingrass_graph::Graph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The node → shard routing table of a [`crate::ShardedEngine`], plus the
+/// global ↔ shard-local index maps the coordinator splits and stitches
+/// with.
+#[derive(Debug, Clone)]
+pub struct ShardRouting {
+    shards: usize,
+    level: usize,
+    shard_of: Vec<u32>,
+    local_of: Vec<u32>,
+    global_of: Vec<Vec<u32>>,
+}
+
+impl ShardRouting {
+    /// Builds the routing table for `shards` shards from the hierarchy's
+    /// coarsest level with at least that many clusters (clamped to the
+    /// node count, so every shard is non-empty).
+    pub(crate) fn build(hierarchy: &LrdHierarchy, g: &Graph, shards: usize) -> ShardRouting {
+        let n = hierarchy.num_nodes();
+        let s = shards.clamp(1, n.max(1));
+        if s <= 1 {
+            return Self::from_shard_of(vec![0; n], 1, 0);
+        }
+
+        // The coarsest level with ≥ S clusters *whose largest cluster fits
+        // within the mean shard size*: a cluster is never split, so one
+        // oversized cluster caps achievable balance no matter how the rest
+        // attach (on meshes the coarsest qualifying level often holds one
+        // dominant cluster — near-total imbalance). Levels nest, so when
+        // no level meets the cap the finest qualifying level is the best
+        // available and the scan lands there.
+        let mean_cap = n.div_ceil(s) as u64;
+        let mut level = 0;
+        for l in (0..hierarchy.num_levels()).rev() {
+            let lvl = hierarchy.level(l);
+            if lvl.num_clusters < s {
+                continue;
+            }
+            let mut cs = vec![0u64; lvl.num_clusters];
+            for &c in &lvl.cluster_of {
+                cs[c as usize] += 1;
+            }
+            level = l;
+            if cs.iter().copied().max().unwrap_or(0) <= mean_cap {
+                break;
+            }
+        }
+        let lvl = hierarchy.level(level);
+        let k = lvl.num_clusters;
+
+        // Cluster sizes and quotient adjacency (deduplicated, sorted).
+        let mut csize = vec![0u64; k];
+        for &c in &lvl.cluster_of {
+            csize[c as usize] += 1;
+        }
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for e in g.edges() {
+            let (a, b) = (lvl.cluster_of[e.u.index()], lvl.cluster_of[e.v.index()]);
+            if a != b {
+                adj[a as usize].push(b);
+                adj[b as usize].push(a);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+
+        // Seeds: the S largest clusters (ties by smaller id).
+        let mut order: Vec<u32> = (0..k as u32).collect();
+        order.sort_by(|&a, &b| csize[b as usize].cmp(&csize[a as usize]).then(a.cmp(&b)));
+        let mut shard_of_cluster = vec![u32::MAX; k];
+        let mut shard_nodes = vec![0u64; s];
+        // Per-shard frontier of adjacent unassigned clusters: max-heap on
+        // (size, smallest id) with lazy deletion of entries claimed by
+        // another shard in the meantime.
+        let mut frontier: Vec<BinaryHeap<(u64, Reverse<u32>)>> =
+            (0..s).map(|_| BinaryHeap::new()).collect();
+        let mut assigned = 0usize;
+        let assign = |c: u32,
+                      sh: usize,
+                      shard_of_cluster: &mut Vec<u32>,
+                      shard_nodes: &mut Vec<u64>,
+                      frontier: &mut Vec<BinaryHeap<(u64, Reverse<u32>)>>,
+                      assigned: &mut usize| {
+            shard_of_cluster[c as usize] = sh as u32;
+            shard_nodes[sh] += csize[c as usize];
+            *assigned += 1;
+            for &nb in &adj[c as usize] {
+                if shard_of_cluster[nb as usize] == u32::MAX {
+                    frontier[sh].push((csize[nb as usize], Reverse(nb)));
+                }
+            }
+        };
+        for (sh, &c) in order[..s].iter().enumerate() {
+            assign(
+                c,
+                sh,
+                &mut shard_of_cluster,
+                &mut shard_nodes,
+                &mut frontier,
+                &mut assigned,
+            );
+        }
+
+        // Balanced greedy growth: the smallest shard (ties by index)
+        // claims the largest unassigned cluster on its frontier.
+        while assigned < k {
+            let mut shard_order: Vec<usize> = (0..s).collect();
+            shard_order.sort_by_key(|&i| (shard_nodes[i], i));
+            let mut grew = false;
+            for &sh in &shard_order {
+                let mut claimed = None;
+                while let Some(&(_, Reverse(c))) = frontier[sh].peek() {
+                    if shard_of_cluster[c as usize] == u32::MAX {
+                        claimed = Some(c);
+                        break;
+                    }
+                    frontier[sh].pop(); // stale: claimed elsewhere
+                }
+                if let Some(c) = claimed {
+                    frontier[sh].pop();
+                    assign(
+                        c,
+                        sh,
+                        &mut shard_of_cluster,
+                        &mut shard_nodes,
+                        &mut frontier,
+                        &mut assigned,
+                    );
+                    grew = true;
+                    break;
+                }
+            }
+            if !grew {
+                // No frontier can grow — only possible for clusters in a
+                // different connected component, which engine setup
+                // rejects; stay total anyway by attaching leftovers to the
+                // smallest shard.
+                for c in 0..k as u32 {
+                    if shard_of_cluster[c as usize] == u32::MAX {
+                        let sh = (0..s).min_by_key(|&i| (shard_nodes[i], i)).unwrap();
+                        assign(
+                            c,
+                            sh,
+                            &mut shard_of_cluster,
+                            &mut shard_nodes,
+                            &mut frontier,
+                            &mut assigned,
+                        );
+                    }
+                }
+            }
+        }
+
+        let shard_of: Vec<u32> = lvl
+            .cluster_of
+            .iter()
+            .map(|&c| shard_of_cluster[c as usize])
+            .collect();
+        Self::from_shard_of(shard_of, s, level)
+    }
+
+    /// Rebuilds the index maps from a node → shard assignment (the
+    /// persisted form). Local ids are assigned in ascending global order,
+    /// exactly as [`ShardRouting::build`] does, so a restored table is
+    /// bit-identical to its exporter.
+    pub(crate) fn from_shard_of(shard_of: Vec<u32>, shards: usize, level: usize) -> ShardRouting {
+        let n = shard_of.len();
+        let mut global_of: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        let mut local_of = vec![0u32; n];
+        for (u, &sh) in shard_of.iter().enumerate() {
+            let sh = sh as usize;
+            local_of[u] = global_of[sh].len() as u32;
+            global_of[sh].push(u as u32);
+        }
+        ShardRouting {
+            shards,
+            level,
+            shard_of,
+            local_of,
+            global_of,
+        }
+    }
+
+    /// Number of shards (≥ 1; never more than the node count).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The hierarchy level whose clusters seeded the partition.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Nodes in the routed graph.
+    pub fn num_nodes(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// The shard owning global node `u`.
+    pub fn shard_of(&self, u: usize) -> usize {
+        self.shard_of[u] as usize
+    }
+
+    /// The full node → shard assignment.
+    pub fn shard_of_slice(&self) -> &[u32] {
+        &self.shard_of
+    }
+
+    /// The shard-local index of global node `u` (within its owning shard).
+    pub fn local_of(&self, u: usize) -> usize {
+        self.local_of[u] as usize
+    }
+
+    /// Global node ids of shard `s`, in ascending order (the shard-local
+    /// index space).
+    pub fn global_of(&self, s: usize) -> &[u32] {
+        &self.global_of[s]
+    }
+
+    /// Node count per shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.global_of.iter().map(|g| g.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InGrassEngine, SetupConfig};
+    use ingrass_graph::{is_connected, Graph};
+
+    fn grid(side: usize) -> Graph {
+        let idx = |r: usize, c: usize| r * side + c;
+        let mut edges = Vec::new();
+        for r in 0..side {
+            for c in 0..side {
+                if c + 1 < side {
+                    edges.push((idx(r, c), idx(r, c + 1), 1.0));
+                }
+                if r + 1 < side {
+                    edges.push((idx(r, c), idx(r + 1, c), 1.0));
+                }
+            }
+        }
+        Graph::from_edges(side * side, &edges).unwrap()
+    }
+
+    fn routing_for(g: &Graph, shards: usize) -> ShardRouting {
+        let cfg = SetupConfig::default();
+        let res = InGrassEngine::estimate_edge_resistances(g, &cfg).unwrap();
+        let hier = crate::lrd::LrdHierarchy::build(
+            g,
+            &res,
+            cfg.initial_diameter,
+            cfg.diameter_growth,
+            cfg.max_levels,
+        )
+        .unwrap();
+        ShardRouting::build(&hier, g, shards)
+    }
+
+    #[test]
+    fn every_shard_is_nonempty_and_connected() {
+        let g = grid(12);
+        for s in [1, 2, 4, 7] {
+            let routing = routing_for(&g, s);
+            assert_eq!(routing.shards(), s);
+            let sizes = routing.shard_sizes();
+            assert_eq!(sizes.iter().sum::<usize>(), g.num_nodes());
+            assert!(sizes.iter().all(|&sz| sz > 0), "{sizes:?}");
+            for shard in 0..s {
+                let nodes = routing.global_of(shard);
+                let mut edges = Vec::new();
+                for e in g.edges() {
+                    let (u, v) = (e.u.index(), e.v.index());
+                    if routing.shard_of(u) == shard && routing.shard_of(v) == shard {
+                        edges.push((routing.local_of(u), routing.local_of(v), e.weight));
+                    }
+                }
+                let sub = Graph::from_edges(nodes.len(), &edges).unwrap();
+                assert!(
+                    is_connected(&sub),
+                    "shard {shard}/{s} induced subgraph disconnected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn local_ids_are_ascending_global_order() {
+        let g = grid(8);
+        let routing = routing_for(&g, 3);
+        for s in 0..routing.shards() {
+            let nodes = routing.global_of(s);
+            assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+            for (local, &global) in nodes.iter().enumerate() {
+                assert_eq!(routing.local_of(global as usize), local);
+                assert_eq!(routing.shard_of(global as usize), s);
+            }
+        }
+    }
+
+    #[test]
+    fn routing_round_trips_through_shard_of() {
+        let g = grid(10);
+        let a = routing_for(&g, 4);
+        let b = ShardRouting::from_shard_of(a.shard_of_slice().to_vec(), a.shards(), a.level());
+        assert_eq!(a.shard_of_slice(), b.shard_of_slice());
+        for s in 0..a.shards() {
+            assert_eq!(a.global_of(s), b.global_of(s));
+        }
+    }
+
+    #[test]
+    fn oversized_shard_count_clamps_to_nodes() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let routing = routing_for(&g, 16);
+        assert_eq!(routing.shards(), 3);
+        assert_eq!(routing.shard_sizes(), vec![1, 1, 1]);
+    }
+}

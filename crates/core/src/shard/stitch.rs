@@ -1,0 +1,469 @@
+//! Stitching per-shard factors into one sparsifier preconditioner.
+//!
+//! The grounded sparsifier Laplacian `L` (ground node 0 removed),
+//! reordered by the shard partition, is block-arrowhead: per-shard
+//! interior blocks `A_s`, a boundary block `L_BB` over the cross-shard
+//! edge endpoints `B`, and couplings `E_s = L[I_s, B]`. The classic
+//! block factorisation then solves `L z = r` *exactly* with
+//!
+//! 1. per-shard interior solves `y_s = A_s⁻¹ r_s` (sparse Cholesky,
+//!    computed per shard and in parallel),
+//! 2. one dense solve with the boundary Schur complement
+//!    `S = L_BB − Σ_s E_sᵀ A_s⁻¹ E_s` (small: `|B|` is the number of
+//!    cross-shard endpoints, which the LRD partition keeps low),
+//! 3. a per-shard correction pass `x_s = A_s⁻¹ (r_s − E_s x_B)`.
+//!
+//! Because the solve is exact, a [`StitchedPrecond`] preconditions PCG on
+//! the original Laplacian exactly as well as the single-engine
+//! `SparsifierPrecond` of the same sparsifier — stitched-solve iteration
+//! counts match, which the parity suite pins.
+//!
+//! Every loop below runs in a fixed index order and parallel maps place
+//! results by index, so the factor (and every solve through it) is
+//! bit-identical at any thread width.
+
+use crate::error::InGrassError;
+use crate::Result;
+use ingrass_graph::Graph;
+use ingrass_linalg::{CsrMatrix, DenseMatrix, Preconditioner, SparseCholesky};
+
+/// Node classes of the block partition.
+const CLASS_GROUND: u8 = 0;
+const CLASS_BOUNDARY: u8 = 1;
+const CLASS_INTERIOR: u8 = 2;
+
+/// The Schur-complement-stitched preconditioner over a sharded
+/// sparsifier: per-shard interior Cholesky factors plus one dense factor
+/// of the boundary Schur complement, applied as an exact block solve.
+#[derive(Debug, Clone)]
+pub struct StitchedPrecond {
+    n: usize,
+    epoch: u64,
+    /// Global boundary nodes, ascending (their index is the boundary
+    /// coordinate of the dense block).
+    boundary: Vec<u32>,
+    /// Global ids of each shard's interior nodes, ascending.
+    interiors: Vec<Vec<u32>>,
+    /// Interior factor per shard (`None` for an empty interior).
+    chols: Vec<Option<SparseCholesky>>,
+    /// Per shard: coupling entries `(interior slot, boundary slot, w)`
+    /// for every sparsifier edge between that shard's interior and the
+    /// boundary set.
+    coupling: Vec<Vec<(u32, u32, f64)>>,
+    /// Dense lower Cholesky factor of the boundary Schur complement
+    /// (`None` when the boundary is empty).
+    schur: Option<DenseMatrix>,
+}
+
+impl StitchedPrecond {
+    /// Builds the stitched factor for `graph` under the given node →
+    /// shard assignment.
+    ///
+    /// `threads` bounds the fan-out of per-shard factorisations and
+    /// Schur column solves; the result is identical at any width.
+    ///
+    /// # Errors
+    /// [`InGrassError::BadSparsifier`] if an interior block or the
+    /// boundary Schur complement is not SPD — the assembled sparsifier
+    /// is disconnected or numerically degenerate.
+    pub(crate) fn build(
+        graph: &Graph,
+        shard_of: &[u32],
+        shards: usize,
+        epoch: u64,
+        threads: usize,
+    ) -> Result<StitchedPrecond> {
+        let n = graph.num_nodes();
+        assert_eq!(shard_of.len(), n, "shard assignment covers every node");
+        let ground = 0usize;
+
+        // Classify nodes: endpoints of cross-shard edges are boundary
+        // (except ground, which is simply removed), everything else is
+        // interior to its shard.
+        let mut class = vec![CLASS_INTERIOR; n];
+        if n > 0 {
+            class[ground] = CLASS_GROUND;
+        }
+        for e in graph.edges() {
+            let (u, v) = (e.u.index(), e.v.index());
+            if shard_of[u] != shard_of[v] {
+                if u != ground {
+                    class[u] = CLASS_BOUNDARY;
+                }
+                if v != ground {
+                    class[v] = CLASS_BOUNDARY;
+                }
+            }
+        }
+        let boundary: Vec<u32> = (0..n)
+            .filter(|&u| class[u] == CLASS_BOUNDARY)
+            .map(|u| u as u32)
+            .collect();
+        let nb = boundary.len();
+        let mut slot = vec![0u32; n];
+        for (i, &b) in boundary.iter().enumerate() {
+            slot[b as usize] = i as u32;
+        }
+        let mut interiors: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        for u in 0..n {
+            if class[u] != CLASS_INTERIOR {
+                continue;
+            }
+            let sh = shard_of[u] as usize;
+            slot[u] = interiors[sh].len() as u32;
+            interiors[sh].push(u as u32);
+        }
+
+        // One pass over the edges fills per-shard interior triplets, the
+        // couplings, and the boundary block's off-diagonal; degrees
+        // accumulate for every node so each block's diagonal is the full
+        // grounded-Laplacian diagonal.
+        let mut degree = vec![0.0f64; n];
+        let mut trips: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); shards];
+        let mut coupling: Vec<Vec<(u32, u32, f64)>> = vec![Vec::new(); shards];
+        let mut lbb = DenseMatrix::zeros(nb, nb);
+        for e in graph.edges() {
+            let (u, v, w) = (e.u.index(), e.v.index(), e.weight);
+            degree[u] += w;
+            degree[v] += w;
+            match (class[u], class[v]) {
+                (CLASS_INTERIOR, CLASS_INTERIOR) => {
+                    let sh = shard_of[u] as usize;
+                    debug_assert_eq!(sh, shard_of[v] as usize);
+                    let (i, j) = (slot[u] as usize, slot[v] as usize);
+                    trips[sh].push((i, j, -w));
+                    trips[sh].push((j, i, -w));
+                }
+                (CLASS_INTERIOR, CLASS_BOUNDARY) => {
+                    coupling[shard_of[u] as usize].push((slot[u], slot[v], w));
+                }
+                (CLASS_BOUNDARY, CLASS_INTERIOR) => {
+                    coupling[shard_of[v] as usize].push((slot[v], slot[u], w));
+                }
+                (CLASS_BOUNDARY, CLASS_BOUNDARY) => {
+                    let (i, j) = (slot[u] as usize, slot[v] as usize);
+                    lbb.add(i, j, -w);
+                    lbb.add(j, i, -w);
+                }
+                // Edges at the ground node only contribute degree.
+                _ => {}
+            }
+        }
+        for (sh, interior) in interiors.iter().enumerate() {
+            for (i, &u) in interior.iter().enumerate() {
+                trips[sh].push((i, i, degree[u as usize]));
+            }
+        }
+        for (i, &b) in boundary.iter().enumerate() {
+            lbb.add(i, i, degree[b as usize]);
+        }
+
+        // Per-shard interior factors, in parallel (placed by index).
+        let chols: Vec<Result<Option<SparseCholesky>>> =
+            ingrass_par::par_map_range_with(threads.max(1), shards, |sh| {
+                let m = interiors[sh].len();
+                if m == 0 {
+                    return Ok(None);
+                }
+                let a = CsrMatrix::from_triplets(m, m, &trips[sh]);
+                SparseCholesky::factor(&a).map(Some).map_err(|e| {
+                    InGrassError::BadSparsifier(format!(
+                        "shard {sh} interior block is not SPD: {e}"
+                    ))
+                })
+            });
+        let mut factors: Vec<Option<SparseCholesky>> = Vec::with_capacity(shards);
+        for c in chols {
+            factors.push(c?);
+        }
+
+        // Boundary Schur complement S = L_BB − Σ_s E_sᵀ A_s⁻¹ E_s. Each
+        // shard's contribution needs one interior solve per boundary
+        // column it couples to (fanned out over threads); accumulation
+        // stays serial in a fixed order.
+        let mut schur_mat = lbb;
+        if nb > 0 {
+            for sh in 0..shards {
+                let Some(chol) = &factors[sh] else { continue };
+                if coupling[sh].is_empty() {
+                    continue;
+                }
+                let m = interiors[sh].len();
+                let mut cols: Vec<u32> = coupling[sh].iter().map(|&(_, b, _)| b).collect();
+                cols.sort_unstable();
+                cols.dedup();
+                let entries = &coupling[sh];
+                let ys: Vec<Vec<f64>> = ingrass_par::par_map_with(threads.max(1), &cols, |&b| {
+                    // Column b of E_s: entries −w at coupled rows.
+                    let mut rhs = vec![0.0f64; m];
+                    for &(i, bp, w) in entries {
+                        if bp == b {
+                            rhs[i as usize] -= w;
+                        }
+                    }
+                    let mut y = vec![0.0f64; m];
+                    chol.solve_into(&rhs, &mut y);
+                    y
+                });
+                for (ci, &b) in cols.iter().enumerate() {
+                    let y = &ys[ci];
+                    for &(i, bp, w) in entries {
+                        // −(E_sᵀ y)[bp] with E[i, bp] = −w ⇒ +w·y[i].
+                        schur_mat.add(bp as usize, b as usize, w * y[i as usize]);
+                    }
+                }
+            }
+        }
+        let schur = if nb > 0 {
+            Some(schur_mat.cholesky().map_err(|e| {
+                InGrassError::BadSparsifier(format!(
+                    "boundary Schur complement ({nb} nodes) is not SPD: {e}"
+                ))
+            })?)
+        } else {
+            None
+        };
+
+        Ok(StitchedPrecond {
+            n,
+            epoch,
+            boundary,
+            interiors,
+            chols: factors,
+            coupling,
+            schur,
+        })
+    }
+
+    /// The coordinator epoch (global re-setup count) this factor was
+    /// built at — the staleness key, mirroring `SparsifierPrecond::epoch`.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of shards stitched.
+    pub fn shards(&self) -> usize {
+        self.interiors.len()
+    }
+
+    /// Number of boundary nodes (the dense block's dimension).
+    pub fn boundary_nodes(&self) -> usize {
+        self.boundary.len()
+    }
+
+    /// The grounded node (always node 0, as for the mono preconditioner).
+    pub fn ground_node(&self) -> usize {
+        0
+    }
+
+    /// Stored factor entries: per-shard sparse factors plus the dense
+    /// boundary factor's lower triangle.
+    pub fn factor_nnz(&self) -> usize {
+        let sparse: usize = self.chols.iter().flatten().map(|c| c.nnz()).sum();
+        let nb = self.boundary.len();
+        sparse + nb * (nb + 1) / 2
+    }
+
+    /// Estimated refactorisation work across all blocks.
+    pub fn factor_flops(&self) -> f64 {
+        let sparse: f64 = self
+            .chols
+            .iter()
+            .flatten()
+            .map(|c| c.flops_estimate())
+            .sum();
+        let nb = self.boundary.len() as f64;
+        sparse + nb * nb * nb / 3.0
+    }
+
+    /// Solves with the cached dense lower factor: forward then backward
+    /// substitution (`L Lᵀ x = b`).
+    fn schur_solve(&self, b: &mut [f64]) {
+        let Some(l) = &self.schur else { return };
+        let nb = b.len();
+        for i in 0..nb {
+            let mut acc = b[i];
+            for j in 0..i {
+                acc -= l.get(i, j) * b[j];
+            }
+            b[i] = acc / l.get(i, i);
+        }
+        for i in (0..nb).rev() {
+            let mut acc = b[i];
+            for j in i + 1..nb {
+                acc -= l.get(j, i) * b[j];
+            }
+            b[i] = acc / l.get(i, i);
+        }
+    }
+
+    /// One interior solve `out = A_s⁻¹ rhs` for shard `sh` (no-op for an
+    /// empty interior).
+    fn interior_solve(&self, sh: usize, rhs: &[f64], out: &mut [f64]) {
+        if let Some(chol) = &self.chols[sh] {
+            chol.solve_into(rhs, out);
+        }
+    }
+}
+
+impl Preconditioner for StitchedPrecond {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        debug_assert_eq!(r.len(), self.n);
+        debug_assert_eq!(z.len(), self.n);
+        if self.n <= 1 {
+            z.fill(0.0);
+            return;
+        }
+        let shards = self.interiors.len();
+
+        // 1. Per-shard interior pre-solves y_s = A_s⁻¹ r_s.
+        let mut ys: Vec<Vec<f64>> = Vec::with_capacity(shards);
+        for sh in 0..shards {
+            let interior = &self.interiors[sh];
+            let rhs: Vec<f64> = interior.iter().map(|&u| r[u as usize]).collect();
+            let mut y = vec![0.0f64; interior.len()];
+            self.interior_solve(sh, &rhs, &mut y);
+            ys.push(y);
+        }
+
+        // 2. Boundary solve x_B = S⁻¹ (r_B − Σ E_sᵀ y_s).
+        let mut xb: Vec<f64> = self.boundary.iter().map(|&b| r[b as usize]).collect();
+        for sh in 0..shards {
+            for &(i, b, w) in &self.coupling[sh] {
+                // −E[i,b]·y[i] with E[i,b] = −w.
+                xb[b as usize] += w * ys[sh][i as usize];
+            }
+        }
+        self.schur_solve(&mut xb);
+
+        // 3. Correction pass x_s = A_s⁻¹ (r_s − E_s x_B) and scatter.
+        z[0] = 0.0;
+        for (i, &b) in self.boundary.iter().enumerate() {
+            z[b as usize] = xb[i];
+        }
+        for sh in 0..shards {
+            let interior = &self.interiors[sh];
+            if interior.is_empty() {
+                continue;
+            }
+            let mut t: Vec<f64> = interior.iter().map(|&u| r[u as usize]).collect();
+            for &(i, b, w) in &self.coupling[sh] {
+                t[i as usize] += w * xb[b as usize];
+            }
+            let mut x = vec![0.0f64; interior.len()];
+            self.interior_solve(sh, &t, &mut x);
+            for (i, &u) in interior.iter().enumerate() {
+                z[u as usize] = x[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ingrass_linalg::{pcg, CgOptions};
+
+    /// A two-block graph: two 4-cliques joined by two cross edges.
+    fn two_blocks() -> (Graph, Vec<u32>) {
+        let mut edges = Vec::new();
+        for base in [0usize, 4] {
+            for a in 0..4 {
+                for b in (a + 1)..4 {
+                    edges.push((base + a, base + b, 1.0 + (a + b) as f64 * 0.1));
+                }
+            }
+        }
+        edges.push((1, 5, 0.5));
+        edges.push((3, 6, 0.25));
+        let g = Graph::from_edges(8, &edges).unwrap();
+        let shard_of = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        (g, shard_of)
+    }
+
+    #[test]
+    fn stitched_solve_is_exact_for_its_own_laplacian() {
+        let (g, shard_of) = two_blocks();
+        let pre = StitchedPrecond::build(&g, &shard_of, 2, 0, 1).unwrap();
+        assert_eq!(pre.shards(), 2);
+        assert_eq!(pre.boundary_nodes(), 4); // nodes 1, 3, 5, 6
+        let l = g.laplacian();
+        let n = g.num_nodes();
+        let mut b = vec![0.0; n];
+        b[2] = 1.0;
+        b[7] = -1.0;
+        let ones = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let res = pcg(&l, &b, &mut x, &pre, Some(&ones), &CgOptions::default());
+        assert!(res.converged);
+        assert!(
+            res.iterations <= 2,
+            "exact block solve took {} iters",
+            res.iterations
+        );
+    }
+
+    #[test]
+    fn matches_mono_preconditioner_application() {
+        // The stitched apply must equal the exact grounded solve, i.e.
+        // L·z = r on the ground-complement (up to the grounded node).
+        let (g, shard_of) = two_blocks();
+        let pre = StitchedPrecond::build(&g, &shard_of, 2, 0, 1).unwrap();
+        let l = g.laplacian();
+        let n = g.num_nodes();
+        let mut r = vec![0.0; n];
+        for (i, v) in r.iter_mut().enumerate() {
+            *v = (i as f64 * 0.37).sin();
+        }
+        r[0] = 0.0; // grounded coordinate carries no information
+        let mut z = vec![0.0; n];
+        pre.apply(&r, &mut z);
+        assert_eq!(z[0], 0.0);
+        // Check L z = r on every non-ground coordinate.
+        let mut lz = vec![0.0; n];
+        l.matvec(&z, &mut lz);
+        for i in 1..n {
+            assert!(
+                (lz[i] - r[i]).abs() < 1e-9,
+                "residual at {i}: {} vs {}",
+                lz[i],
+                r[i]
+            );
+        }
+    }
+
+    #[test]
+    fn thread_width_does_not_change_the_factor() {
+        let (g, shard_of) = two_blocks();
+        let p1 = StitchedPrecond::build(&g, &shard_of, 2, 0, 1).unwrap();
+        let p4 = StitchedPrecond::build(&g, &shard_of, 2, 0, 4).unwrap();
+        let n = g.num_nodes();
+        let r: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0).recip()).collect();
+        let (mut z1, mut z4) = (vec![0.0; n], vec![0.0; n]);
+        p1.apply(&r, &mut z1);
+        p4.apply(&r, &mut z4);
+        assert_eq!(z1, z4, "stitched solve differs across build widths");
+        assert_eq!(p1.factor_nnz(), p4.factor_nnz());
+    }
+
+    #[test]
+    fn single_shard_has_no_boundary() {
+        let (g, _) = two_blocks();
+        let shard_of = vec![0u32; g.num_nodes()];
+        let pre = StitchedPrecond::build(&g, &shard_of, 1, 0, 1).unwrap();
+        assert_eq!(pre.boundary_nodes(), 0);
+        let l = g.laplacian();
+        let n = g.num_nodes();
+        let mut b = vec![0.0; n];
+        b[1] = 1.0;
+        b[4] = -1.0;
+        let ones = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let res = pcg(&l, &b, &mut x, &pre, Some(&ones), &CgOptions::default());
+        assert!(res.converged && res.iterations <= 2);
+    }
+}

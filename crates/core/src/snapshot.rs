@@ -30,10 +30,77 @@ use crate::ledger::UpdateOp;
 use crate::lrd::LrdHierarchy;
 use crate::precond::SparsifierPrecond;
 use crate::report::{PhaseTimer, UpdateReport};
+use crate::shard::StitchedPrecond;
 use crate::{Result, UpdateConfig};
 use ingrass_graph::{Graph, NodeId};
 use ingrass_linalg::{CsrMatrix, Preconditioner};
+use ingrass_metrics::ShardStats;
 use std::sync::{Arc, RwLock};
+
+/// The preconditioner a snapshot carries: the single-engine grounded
+/// Cholesky factor, or the sharded engine's Schur-complement-stitched
+/// block factor. Both are exact solves of the snapshot's sparsifier
+/// Laplacian, so every consumer (PCG preconditioning, exact
+/// effective-resistance queries) treats them uniformly through
+/// [`Preconditioner`].
+#[derive(Debug, Clone)]
+pub enum SnapshotPrecond {
+    /// One grounded sparse Cholesky factor of the whole sparsifier.
+    Mono(SparsifierPrecond),
+    /// Per-shard interior factors stitched over the boundary Schur
+    /// complement ([`crate::ShardedEngine`]).
+    Sharded(StitchedPrecond),
+}
+
+impl SnapshotPrecond {
+    /// Stored factor entries (all blocks for the sharded variant).
+    pub fn factor_nnz(&self) -> usize {
+        match self {
+            SnapshotPrecond::Mono(p) => p.factor_nnz(),
+            SnapshotPrecond::Sharded(p) => p.factor_nnz(),
+        }
+    }
+
+    /// Estimated numeric-refactorization work of the factor's pattern.
+    pub fn factor_flops(&self) -> f64 {
+        match self {
+            SnapshotPrecond::Mono(p) => p.factor_flops(),
+            SnapshotPrecond::Sharded(p) => p.factor_flops(),
+        }
+    }
+
+    /// The engine (or coordinator) epoch the factor was built at.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            SnapshotPrecond::Mono(p) => p.epoch(),
+            SnapshotPrecond::Sharded(p) => p.epoch(),
+        }
+    }
+
+    /// The node whose row/column was grounded out (always 0 today).
+    pub fn ground_node(&self) -> usize {
+        match self {
+            SnapshotPrecond::Mono(p) => p.ground_node(),
+            SnapshotPrecond::Sharded(p) => p.ground_node(),
+        }
+    }
+}
+
+impl Preconditioner for SnapshotPrecond {
+    fn dim(&self) -> usize {
+        match self {
+            SnapshotPrecond::Mono(p) => p.dim(),
+            SnapshotPrecond::Sharded(p) => p.dim(),
+        }
+    }
+
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        match self {
+            SnapshotPrecond::Mono(p) => p.apply(r, z),
+            SnapshotPrecond::Sharded(p) => p.apply(r, z),
+        }
+    }
+}
 
 /// Aggregate resistance statistics of a snapshot's sparsifier, computed
 /// from the hierarchy's `O(log N)` resistance bounds at publish time.
@@ -94,7 +161,7 @@ pub struct SparsifierSnapshot {
     sequence: u64,
     graph: Graph,
     laplacian: Arc<CsrMatrix>,
-    precond: SparsifierPrecond,
+    precond: SnapshotPrecond,
     hierarchy: Arc<LrdHierarchy>,
     resistance: ResistanceSummary,
     checksum: u64,
@@ -121,7 +188,31 @@ impl SparsifierSnapshot {
         sequence: u64,
         precond: SparsifierPrecond,
     ) -> Result<SparsifierSnapshot> {
-        let graph = engine.sparsifier_graph();
+        SparsifierSnapshot::assemble(
+            engine.instance_id(),
+            engine.epoch(),
+            engine.version(),
+            sequence,
+            engine.sparsifier_graph(),
+            SnapshotPrecond::Mono(precond),
+            hierarchy,
+        )
+    }
+
+    /// Builds a snapshot from already-materialised parts. This is the
+    /// publish path shared by [`SnapshotEngine`] (mono factor, engine
+    /// tags) and [`crate::ShardedEngine`] (stitched factor, coordinator
+    /// tags); `graph` and `precond` must describe the same sparsifier
+    /// state, and `hierarchy` the epoch's decomposition.
+    pub(crate) fn assemble(
+        instance_id: u64,
+        epoch: u64,
+        version: u64,
+        sequence: u64,
+        graph: Graph,
+        precond: SnapshotPrecond,
+        hierarchy: Arc<LrdHierarchy>,
+    ) -> Result<SparsifierSnapshot> {
         let laplacian = Arc::new(graph.laplacian());
 
         let mut total_weight = 0.0;
@@ -144,9 +235,9 @@ impl SparsifierSnapshot {
         };
 
         let mut snap = SparsifierSnapshot {
-            instance_id: engine.instance_id(),
-            epoch: engine.epoch(),
-            version: engine.version(),
+            instance_id,
+            epoch,
+            version,
             sequence,
             graph,
             laplacian,
@@ -222,9 +313,12 @@ impl SparsifierSnapshot {
         Arc::clone(&self.laplacian)
     }
 
-    /// The grounded Cholesky factor of `L_H` — exact for this snapshot's
-    /// sparsifier, a preconditioner for the original graph's Laplacian.
-    pub fn preconditioner(&self) -> &SparsifierPrecond {
+    /// The exact factorisation of `L_H` — one grounded Cholesky factor for
+    /// a [`SnapshotEngine`] publish, or a Schur-stitched block factor for a
+    /// [`crate::ShardedEngine`] publish. Either way it solves this
+    /// snapshot's sparsifier exactly, so it preconditions the original
+    /// graph's Laplacian identically.
+    pub fn preconditioner(&self) -> &SnapshotPrecond {
         &self.precond
     }
 
@@ -305,6 +399,9 @@ pub struct PublishReport {
     /// initial build at setup, epoch changes, fill-budget and numerical
     /// fallbacks, and the periodic drift-bounding rebuild).
     pub factor_refactors: u64,
+    /// Per-shard work statistics for a [`crate::ShardedEngine`] publish;
+    /// `None` for the single-engine [`SnapshotEngine`].
+    pub shard: Option<ShardStats>,
 }
 
 /// Policy for maintaining the live Cholesky factor across publishes.
@@ -449,12 +546,18 @@ pub struct BatchPublishReport {
 /// The shared cell readers subscribe to. Publication replaces the `Arc`
 /// under a write lock held only for the swap.
 #[derive(Debug)]
-struct SnapshotCell {
+pub(crate) struct SnapshotCell {
     current: RwLock<Arc<SparsifierSnapshot>>,
 }
 
 impl SnapshotCell {
-    fn load(&self) -> Arc<SparsifierSnapshot> {
+    pub(crate) fn new(initial: Arc<SparsifierSnapshot>) -> SnapshotCell {
+        SnapshotCell {
+            current: RwLock::new(initial),
+        }
+    }
+
+    pub(crate) fn load(&self) -> Arc<SparsifierSnapshot> {
         // A poisoned lock only means some reader panicked mid-clone; the
         // data is an Arc swap away from consistent either way.
         match self.current.read() {
@@ -463,7 +566,7 @@ impl SnapshotCell {
         }
     }
 
-    fn store(&self, snap: Arc<SparsifierSnapshot>) {
+    pub(crate) fn store(&self, snap: Arc<SparsifierSnapshot>) {
         match self.current.write() {
             Ok(mut g) => *g = snap,
             Err(p) => *p.into_inner() = snap,
@@ -481,6 +584,10 @@ pub struct SnapshotReader {
 }
 
 impl SnapshotReader {
+    pub(crate) fn from_cell(cell: Arc<SnapshotCell>) -> SnapshotReader {
+        SnapshotReader { cell }
+    }
+
     /// The most recently published snapshot.
     pub fn current(&self) -> Arc<SparsifierSnapshot> {
         self.cell.load()
@@ -570,9 +677,7 @@ impl SnapshotEngine {
             engine,
             hierarchy,
             hierarchy_epoch,
-            cell: Arc::new(SnapshotCell {
-                current: RwLock::new(Arc::new(snap)),
-            }),
+            cell: Arc::new(SnapshotCell::new(Arc::new(snap))),
             sequence: 1,
             factor,
             factor_valid: true,
@@ -772,6 +877,7 @@ impl SnapshotEngine {
             factor_updated,
             factor_updates: self.factor_updates,
             factor_refactors: self.factor_refactors,
+            shard: None,
         };
         self.cell.store(snap);
         Ok(report)
@@ -835,9 +941,7 @@ impl SnapshotEngine {
             engine,
             hierarchy,
             hierarchy_epoch,
-            cell: Arc::new(SnapshotCell {
-                current: RwLock::new(Arc::new(snap)),
-            }),
+            cell: Arc::new(SnapshotCell::new(Arc::new(snap))),
             sequence: state.sequence,
             factor,
             factor_valid: state.factor_valid,

@@ -178,3 +178,50 @@ pub struct ServingState {
     /// Lifetime factor rebuilds.
     pub factor_refactors: u64,
 }
+
+/// Exact state of a [`crate::ShardedEngine`]: every shard engine, the
+/// routing assignment, the boundary edge list, the global hierarchy, and
+/// the coordinator's drift counters.
+///
+/// Produced by [`crate::ShardedEngine::export_state`]; consumed by
+/// [`crate::ShardedEngine::from_state`]. Per-shard latency summaries are
+/// process-local wall-clock measurements and are deliberately not
+/// persisted (they restart empty); per-shard *op* counters are, so
+/// imbalance statistics survive a restore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedState {
+    /// Each shard engine's state, by shard index.
+    pub shards: Vec<EngineState>,
+    /// Node → shard assignment (the persisted form of the routing table;
+    /// local index maps are reconstructed from it).
+    pub shard_of: Vec<u32>,
+    /// The hierarchy level whose clusters seeded the partition.
+    pub routing_level: usize,
+    /// Cross-shard boundary edges `(u, v, w)` in canonical order.
+    pub boundary_edges: Vec<(u32, u32, f64)>,
+    /// The global LRD hierarchy's levels (per-level cluster labels).
+    pub levels: Vec<LrdLevelState>,
+    /// The coordinator's setup configuration (the user's drift policy —
+    /// shard engines persist their own drift-disabled copies).
+    pub setup_cfg: SetupConfig,
+    /// Requested shard count ([`crate::ShardedConfig::shards`]).
+    pub shard_count: usize,
+    /// Thread override ([`crate::ShardedConfig::threads`]).
+    pub threads: Option<usize>,
+    /// Publish sequence number (snapshots published so far).
+    pub sequence: u64,
+    /// Coordinator epoch (global re-setups so far).
+    pub epoch: u64,
+    /// Coordinator state version.
+    pub version: u64,
+    /// Operations routed through the coordinator so far.
+    pub updates_applied: usize,
+    /// Boundary deletions converted into re-link edges so far.
+    pub boundary_relinks: u64,
+    /// Boundary weight baseline of the current epoch (drift denominator).
+    pub boundary_epoch_weight: f64,
+    /// Boundary weight deleted in the current epoch (drift numerator).
+    pub boundary_deleted_weight: f64,
+    /// Lifetime operations applied per shard.
+    pub per_shard_ops: Vec<u64>,
+}

@@ -49,5 +49,5 @@ pub use delaunay::{delaunay, delaunay_points, DelaunayConfig, PointDistribution}
 pub use grid::{grid_2d, power_grid, PowerGridConfig, WeightModel};
 pub use mesh::{airfoil_mesh, ocean_mesh, sphere_mesh, AirfoilConfig, OceanConfig, SphereConfig};
 pub use social::{barabasi_albert, rmat, BaConfig, RmatConfig};
-pub use stream::{ChurnConfig, ChurnOp, ChurnStream, InsertionStream, StreamConfig};
+pub use stream::{ChurnConfig, ChurnOp, ChurnStream, InsertionStream, ShardSkew, StreamConfig};
 pub use suite::{paper_suite, TestCase};

@@ -232,6 +232,29 @@ impl ChurnConfig {
     }
 }
 
+/// Shard-aware skew knobs for [`ChurnStream::generate_with_skew`]: a node
+/// labelling (typically a sharded engine's node → shard assignment) plus
+/// two biases that shape where insertions land.
+///
+/// The sharded-engine perf scenarios use this to stress the router: a
+/// `hot_fraction` of intra-label insertions all land in `hot_label`
+/// (load imbalance), and a `cross_fraction` of insertions straddle two
+/// labels (boundary-graph growth). Deletes and reweights are unaffected —
+/// they sample live churnable edges exactly as [`ChurnStream::generate`]
+/// does.
+#[derive(Debug, Clone)]
+pub struct ShardSkew {
+    /// Label of each node (length must equal the graph's node count).
+    pub labels: Vec<u32>,
+    /// Fraction of *intra-label* insertions forced into
+    /// [`ShardSkew::hot_label`]; the rest pick a label by node mass.
+    pub hot_fraction: f64,
+    /// Fraction of insertions whose endpoints carry different labels.
+    pub cross_fraction: f64,
+    /// The label receiving the hot-cluster bias.
+    pub hot_label: u32,
+}
+
 /// A seeded fully-dynamic stream: batches mixing edge insertions,
 /// deletions, and reweights — the churn workloads (netlist ECO with
 /// removals, social unfollows, mesh coarsening) the insert-only
@@ -277,6 +300,41 @@ impl ChurnStream {
     /// Panics if `g` has fewer than 2 nodes, is disconnected, or the
     /// delete/reweight fractions are invalid (negative or summing above 1).
     pub fn generate(g: &Graph, cfg: &ChurnConfig) -> Self {
+        Self::generate_inner(g, cfg, None)
+    }
+
+    /// [`ChurnStream::generate`] with shard-aware insertion skew: the
+    /// locality walk is replaced by [`ShardSkew`]-driven endpoint
+    /// sampling (hot-cluster bias + cross-label fraction) while deletes
+    /// and reweights keep their live-edge semantics. Deterministic for a
+    /// fixed `(cfg.seed, skew)` like the unskewed generator.
+    ///
+    /// # Panics
+    /// As for [`ChurnStream::generate`], plus if `skew.labels` does not
+    /// cover the graph's nodes, a fraction is outside `[0, 1]`, or
+    /// `skew.hot_label` labels no node.
+    pub fn generate_with_skew(g: &Graph, cfg: &ChurnConfig, skew: &ShardSkew) -> Self {
+        assert_eq!(
+            skew.labels.len(),
+            g.num_nodes(),
+            "skew labels must cover every node"
+        );
+        assert!(
+            skew.hot_fraction.is_finite()
+                && (0.0..=1.0).contains(&skew.hot_fraction)
+                && skew.cross_fraction.is_finite()
+                && (0.0..=1.0).contains(&skew.cross_fraction),
+            "skew fractions must be within [0, 1]"
+        );
+        assert!(
+            skew.labels.contains(&skew.hot_label),
+            "hot label {} labels no node",
+            skew.hot_label
+        );
+        Self::generate_inner(g, cfg, Some(skew))
+    }
+
+    fn generate_inner(g: &Graph, cfg: &ChurnConfig, skew: Option<&ShardSkew>) -> Self {
         let n = g.num_nodes();
         assert!(n >= 2, "churn stream needs at least two nodes");
         assert!(
@@ -314,6 +372,21 @@ impl ChurnStream {
             }
         };
 
+        // Label buckets for skewed endpoint sampling.
+        let nodes_by_label: Option<Vec<Vec<u32>>> = skew.map(|sk| {
+            let num_labels = sk
+                .labels
+                .iter()
+                .copied()
+                .max()
+                .map_or(0, |m| m as usize + 1);
+            let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); num_labels];
+            for (u, &lab) in sk.labels.iter().enumerate() {
+                buckets[lab as usize].push(u as u32);
+            }
+            buckets
+        });
+
         let (mut inserts, mut deletes, mut reweights) = (0usize, 0usize, 0usize);
         let mut batches = Vec::with_capacity(cfg.batches);
         for _ in 0..cfg.batches {
@@ -344,20 +417,58 @@ impl ChurnStream {
                     ));
                     reweights += 1;
                 } else {
-                    // Insertion: same locality mix as `InsertionStream`.
-                    let u = rng.random_range(0..n);
-                    let v = if rng.random::<f64>() < cfg.locality {
-                        let mut cur = NodeId::new(u);
-                        for _ in 0..cfg.local_hops {
-                            let nbrs = g.neighbors(cur);
-                            if nbrs.is_empty() {
-                                break;
+                    // Insertion. With a skew: cross-label or (hot-biased)
+                    // intra-label endpoint sampling; otherwise the same
+                    // locality mix as `InsertionStream`.
+                    let (u, v) = if let (Some(sk), Some(buckets)) = (skew, &nodes_by_label) {
+                        if rng.random::<f64>() < sk.cross_fraction {
+                            // Cross-label pair: rejection-sample the second
+                            // endpoint out of the first one's label.
+                            let u = rng.random_range(0..n);
+                            let mut v = usize::MAX;
+                            for _ in 0..32 {
+                                let cand = rng.random_range(0..n);
+                                if sk.labels[cand] != sk.labels[u] {
+                                    v = cand;
+                                    break;
+                                }
                             }
-                            cur = nbrs[rng.random_range(0..nbrs.len())].to;
+                            if v == usize::MAX {
+                                continue;
+                            }
+                            (u, v)
+                        } else {
+                            let lab = if rng.random::<f64>() < sk.hot_fraction {
+                                sk.hot_label as usize
+                            } else {
+                                // By node mass: the label of a uniform node.
+                                sk.labels[rng.random_range(0..n)] as usize
+                            };
+                            let bucket = &buckets[lab];
+                            if bucket.len() < 2 {
+                                continue;
+                            }
+                            (
+                                bucket[rng.random_range(0..bucket.len())] as usize,
+                                bucket[rng.random_range(0..bucket.len())] as usize,
+                            )
                         }
-                        cur.index()
                     } else {
-                        rng.random_range(0..n)
+                        let u = rng.random_range(0..n);
+                        let v = if rng.random::<f64>() < cfg.locality {
+                            let mut cur = NodeId::new(u);
+                            for _ in 0..cfg.local_hops {
+                                let nbrs = g.neighbors(cur);
+                                if nbrs.is_empty() {
+                                    break;
+                                }
+                                cur = nbrs[rng.random_range(0..nbrs.len())].to;
+                            }
+                            cur.index()
+                        } else {
+                            rng.random_range(0..n)
+                        };
+                        (u, v)
                     };
                     if u == v {
                         continue;
@@ -603,6 +714,94 @@ mod tests {
                 };
                 assert!(g.edge_weight(u.into(), v.into()).is_none());
                 assert!(seen.insert((u, v)));
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_churn_is_deterministic_for_seed() {
+        let g = grid_2d(12, 12, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 9);
+        // Quadrant labelling: 4 labels over the 12×12 grid.
+        let labels: Vec<u32> = (0..144)
+            .map(|i| {
+                let (x, y) = (i % 12, i / 12);
+                ((y / 6) * 2 + x / 6) as u32
+            })
+            .collect();
+        let skew = ShardSkew {
+            labels,
+            hot_fraction: 0.3,
+            cross_fraction: 0.2,
+            hot_label: 1,
+        };
+        let cfg = ChurnConfig {
+            batches: 5,
+            ops_per_batch: 50,
+            ..Default::default()
+        };
+        let a = ChurnStream::generate_with_skew(&g, &cfg, &skew);
+        let b = ChurnStream::generate_with_skew(&g, &cfg, &skew);
+        assert_eq!(a.batches(), b.batches());
+        assert_eq!(a.inserts(), b.inserts());
+        // Still a valid churn stream: replay succeeds and stays connected.
+        use ingrass_graph::is_connected;
+        assert!(is_connected(&a.apply_to(&g).unwrap()));
+    }
+
+    #[test]
+    fn skew_biases_hot_label_and_cross_fraction() {
+        let g = grid_2d(16, 16, WeightModel::Unit, 4);
+        let labels: Vec<u32> = (0..256)
+            .map(|i| {
+                let (x, y) = (i % 16, i / 16);
+                ((y / 8) * 2 + x / 8) as u32
+            })
+            .collect();
+        let skew = ShardSkew {
+            labels: labels.clone(),
+            hot_fraction: 0.6,
+            cross_fraction: 0.25,
+            hot_label: 2,
+        };
+        let s = ChurnStream::generate_with_skew(
+            &g,
+            &ChurnConfig {
+                batches: 8,
+                ops_per_batch: 80,
+                delete_fraction: 0.0,
+                reweight_fraction: 0.0,
+                ..Default::default()
+            },
+            &skew,
+        );
+        let mut cross = 0usize;
+        let mut per_label = [0usize; 4];
+        let mut total = 0usize;
+        for batch in s.batches() {
+            for op in batch {
+                let ChurnOp::Insert(u, v, _) = *op else {
+                    panic!("insert-only stream")
+                };
+                total += 1;
+                if labels[u] != labels[v] {
+                    cross += 1;
+                } else {
+                    per_label[labels[u] as usize] += 1;
+                }
+            }
+        }
+        assert!(total > 100);
+        let cross_frac = cross as f64 / total as f64;
+        assert!(
+            (cross_frac - 0.25).abs() < 0.12,
+            "cross fraction {cross_frac}"
+        );
+        // The hot label dominates intra-label insertions: with a 0.6 hot
+        // bias it should hold well over twice any cold label's share.
+        let hot = per_label[2];
+        for (lab, &cold) in per_label.iter().enumerate() {
+            if lab != 2 {
+                assert!(hot > 2 * cold, "hot {hot} vs label {lab} = {cold}");
             }
         }
     }

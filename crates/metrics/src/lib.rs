@@ -21,6 +21,7 @@ mod density;
 mod distortion;
 mod error;
 mod latency;
+mod shard;
 mod trajectory;
 
 pub use condition::{estimate_condition_number, ConditionEstimate, ConditionOptions};
@@ -28,6 +29,7 @@ pub use density::{DensityReport, SparsifierDensity};
 pub use distortion::{offtree_distortion_stats, DistortionStats};
 pub use error::MetricsError;
 pub use latency::LatencySummary;
+pub use shard::ShardStats;
 pub use trajectory::{ConditionTrajectory, TrajectoryPoint};
 
 /// Crate-wide result alias.
