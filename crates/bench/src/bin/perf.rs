@@ -47,7 +47,15 @@
 //! vs the single-engine wall, work-imbalance ratio, boundary-graph size,
 //! and stitched Schur-complement PCG iterations vs the mono
 //! preconditioner — and gates `shard_update_wall_s` and
-//! `shard_publish_wall_s`. The gate refuses a baseline whose
+//! `shard_publish_wall_s`. Schema 4 adds one `traffic/<case>` scenario
+//! per case measuring the serving front end (`ingrass-traffic`) under a
+//! sustained 2× open-loop overload on a virtual clock — bounded
+//! admission (cap + deadline shedding + weighted-fair dequeue) against
+//! the unbounded mode on the same trace — and gates `traffic_p99_s` and
+//! `shed_fraction`. Those two are deterministic virtual-clock metrics
+//! (bit-exact at any machine speed and worker width), so the gate
+//! compares them **without** the machine-speed calibration scaling it
+//! applies to wall-clock keys. The gate refuses a baseline whose
 //! `schema_version` differs from this binary's: a schema change without a
 //! baseline regenerated in the same PR guards nothing.
 
@@ -58,7 +66,10 @@ use ingrass::{
 use ingrass_baselines::GrassSparsifier;
 use ingrass_bench::fmt_secs;
 use ingrass_bench::json::{obj, scenario_metrics, Json};
-use ingrass_gen::{ChurnConfig, ChurnOp, ChurnStream, InsertionStream, ShardSkew, TestCase};
+use ingrass_gen::{
+    ArrivalProcess, ChurnConfig, ChurnOp, ChurnStream, InsertionStream, ShardSkew, TestCase,
+    WorkloadConfig, WorkloadTrace,
+};
 use ingrass_graph::{DynGraph, Graph};
 use ingrass_metrics::{
     estimate_condition_number, ConditionOptions, ConditionTrajectory, LatencySummary,
@@ -67,6 +78,7 @@ use ingrass_metrics::{
 use ingrass_resistance::{JlConfig, KrylovConfig};
 use ingrass_solve::{unpreconditioned_cg, ConcurrentSolveService, SolveConfig, SolveService};
 use ingrass_store::{PersistentEngine, StorePolicy};
+use ingrass_traffic::{run_open_loop, OpenLoopConfig, TrafficConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -78,8 +90,11 @@ use std::sync::Arc;
 /// longer vouch for the full matrix. 2 → 3: `shard/<case>` scenarios
 /// added (sharded multi-writer engine over a shard-skewed churn stream)
 /// and their `shard_update_wall_s` / `shard_publish_wall_s` joined the
-/// gated set.
-const SCHEMA_VERSION: f64 = 3.0;
+/// gated set. 3 → 4: `traffic/<case>` scenarios added (bounded vs
+/// unbounded admission under 2× open-loop overload, virtual clock) and
+/// their `traffic_p99_s` / `shed_fraction` joined the gated set —
+/// compared unscaled, because they are machine-independent.
+const SCHEMA_VERSION: f64 = 4.0;
 
 /// Times a fixed integer-arithmetic kernel (~1.6·10⁸ wrapping ops) as a
 /// machine-speed proxy. The regression gate scales baseline wall times by
@@ -1047,6 +1062,204 @@ fn run_scenario(case: TestCase, fixture: &CaseFixture, backend: &str, args: &Arg
     ])
 }
 
+/// Offered-load multiple over the front end's configured capacity in the
+/// `traffic/<case>` scenarios: sustained 2× overload.
+const TRAFFIC_OVERLOAD: f64 = 2.0;
+/// Virtual trace horizon of the traffic scenarios (seconds).
+const TRAFFIC_HORIZON_S: f64 = 2.5;
+/// Bounded admission cap of the traffic scenarios.
+const TRAFFIC_MAX_PENDING: usize = 32;
+/// Per-request deadline of the traffic scenarios (virtual seconds).
+const TRAFFIC_DEADLINE_S: f64 = 0.3;
+
+/// Runs the traffic scenario of one case: the serving front end
+/// (`ingrass-traffic`) replays the same seeded 2×-overload workload trace
+/// (Poisson arrivals, hot-tenant skew, mixed reader solves + writer
+/// churn) twice against a solve-grade `SnapshotEngine`, on a virtual
+/// clock:
+///
+/// * **bounded** — admission cap, per-request deadline, weighted-fair
+///   dequeue (tenant weights 2:1:1). Gated: `traffic_p99_s` (accepted
+///   requests' queue wait + modeled service time) and `shed_fraction`.
+///   Both are bit-deterministic at fixed seed — any machine, any worker
+///   width — so the gate compares them unscaled.
+/// * **unbounded** — the same trace with the cap and deadline off (the
+///   pre-front-end regime, kept as a harness mode): nothing is shed and
+///   the backlog at the horizon grows to roughly `(λ − C)·T`, recorded
+///   as `unbounded_pending_at_horizon` next to the bounded cap.
+fn run_traffic_scenario(case: TestCase, fixture: &CaseFixture, args: &Args) -> Json {
+    let setup_cfg = SetupConfig::default()
+        .with_seed(args.seed)
+        .with_resistance(backend_config("krylov", args.threads));
+    let h_solve = GrassSparsifier::default()
+        .by_offtree_density(&fixture.g0, SOLVE_DENSITY)
+        .expect("traffic-grade sparsification")
+        .graph;
+    let churn_batches: Vec<Vec<UpdateOp>> = fixture
+        .churn
+        .batches()
+        .iter()
+        .map(|b| to_update_ops(b))
+        .collect();
+
+    let bounded_cfg = OpenLoopConfig {
+        traffic: TrafficConfig {
+            max_pending: TRAFFIC_MAX_PENDING,
+            deadline_s: TRAFFIC_DEADLINE_S,
+            tenant_weights: vec![2.0, 1.0, 1.0],
+        },
+        ..Default::default()
+    };
+    let capacity_hz = bounded_cfg.capacity_hz();
+    let offered_hz = capacity_hz * TRAFFIC_OVERLOAD;
+    let trace = WorkloadTrace::generate(&WorkloadConfig {
+        duration_s: TRAFFIC_HORIZON_S,
+        arrivals: ArrivalProcess::Poisson {
+            rate_hz: offered_hz,
+        },
+        tenants: 3,
+        churn_fraction: 0.03,
+        seed: args.seed ^ 0x7a11,
+        ..Default::default()
+    });
+
+    let timer = PhaseTimer::start();
+    let mut engine = SnapshotEngine::setup(&h_solve, &setup_cfg).expect("traffic setup");
+    let bounded = run_open_loop(
+        &mut engine,
+        &churn_batches,
+        trace.events(),
+        TRAFFIC_HORIZON_S,
+        &bounded_cfg,
+    )
+    .expect("bounded traffic run");
+
+    let mut unbounded_cfg = bounded_cfg.clone();
+    unbounded_cfg.traffic.max_pending = usize::MAX;
+    unbounded_cfg.traffic.deadline_s = f64::INFINITY;
+    unbounded_cfg.flush_after_horizon = false;
+    let mut engine = SnapshotEngine::setup(&h_solve, &setup_cfg).expect("traffic setup");
+    let unbounded = run_open_loop(
+        &mut engine,
+        &churn_batches,
+        trace.events(),
+        TRAFFIC_HORIZON_S,
+        &unbounded_cfg,
+    )
+    .expect("unbounded traffic run");
+    let wall = timer.total().as_secs_f64();
+
+    // Inline acceptance bars — seed-deterministic, so they assert rather
+    // than gate. Under sustained 2× overload the bounded front end sheds
+    // roughly half the offered load (both loss modes occur), holds the
+    // backlog at the cap, and keeps accepted-request p99 within
+    // deadline + one cadence + max modeled service time; the unbounded
+    // mode sheds nothing and its backlog grows far past the cap.
+    let shed = bounded.shed_fraction();
+    let p99 = bounded.p99_s();
+    assert_eq!(
+        bounded.non_converged,
+        0,
+        "{}: non-converged solves",
+        case.name()
+    );
+    assert!(
+        shed > 0.25 && shed < 0.75,
+        "{}: shed fraction {shed} out of the 2x-overload band",
+        case.name()
+    );
+    assert!(
+        p99 > 0.0 && p99 < 1.0,
+        "{}: accepted p99 {p99}s escaped the SLO bar",
+        case.name()
+    );
+    assert!(
+        bounded.traffic.rejected_full > 0 && bounded.traffic.shed_deadline > 0,
+        "{}: overload must exercise both loss modes (full {}, deadline {})",
+        case.name(),
+        bounded.traffic.rejected_full,
+        bounded.traffic.shed_deadline,
+    );
+    assert!(bounded.pending_at_horizon <= TRAFFIC_MAX_PENDING);
+    assert_eq!(unbounded.traffic.rejected_full, 0);
+    assert_eq!(unbounded.traffic.shed_deadline, 0);
+    assert!(
+        unbounded.pending_at_horizon > 3 * TRAFFIC_MAX_PENDING,
+        "{}: unbounded backlog {} did not outgrow the bounded cap",
+        case.name(),
+        unbounded.pending_at_horizon,
+    );
+
+    println!(
+        "{:<14} traffic p99 {:>10} p50 {:>10} shed {:>5.1}%  {:>4} done | unbounded backlog {:>4} ({})",
+        case.name(),
+        fmt_secs(p99),
+        fmt_secs(bounded.accepted_latency.p50()),
+        shed * 100.0,
+        bounded.completed,
+        unbounded.pending_at_horizon,
+        fmt_secs(wall),
+    );
+
+    obj(vec![
+        ("id", Json::Str(format!("traffic/{}", case.name()))),
+        ("case", Json::Str(case.name().to_string())),
+        ("backend", Json::Str("krylov".to_string())),
+        ("kind", Json::Str("traffic".to_string())),
+        ("nodes", Json::Num(fixture.g0.num_nodes() as f64)),
+        ("edges", Json::Num(fixture.g0.num_edges() as f64)),
+        ("capacity_hz", Json::Num(capacity_hz)),
+        ("offered_hz", Json::Num(offered_hz)),
+        ("horizon_s", Json::Num(TRAFFIC_HORIZON_S)),
+        ("max_pending", Json::Num(TRAFFIC_MAX_PENDING as f64)),
+        ("deadline_s", Json::Num(TRAFFIC_DEADLINE_S)),
+        ("traffic_offered", Json::Num(bounded.traffic.offered as f64)),
+        ("traffic_completed", Json::Num(bounded.completed as f64)),
+        (
+            "traffic_rejected_full",
+            Json::Num(bounded.traffic.rejected_full as f64),
+        ),
+        (
+            "traffic_shed_deadline",
+            Json::Num(bounded.traffic.shed_deadline as f64),
+        ),
+        ("shed_fraction", Json::Num(shed)),
+        ("traffic_p50_s", Json::Num(bounded.accepted_latency.p50())),
+        ("traffic_p95_s", Json::Num(bounded.accepted_latency.p95())),
+        ("traffic_p99_s", Json::Num(p99)),
+        (
+            "queue_wait_p99_s",
+            Json::Num(bounded.traffic.queue_wait.p99()),
+        ),
+        (
+            "per_tenant_dispatched",
+            Json::Arr(
+                bounded
+                    .traffic
+                    .per_tenant_dispatched
+                    .iter()
+                    .map(|&d| Json::Num(d as f64))
+                    .collect(),
+            ),
+        ),
+        ("drain_rounds", Json::Num(bounded.drain_rounds as f64)),
+        (
+            "churn_batches_applied",
+            Json::Num(bounded.churn_batches_applied as f64),
+        ),
+        (
+            "bounded_pending_at_horizon",
+            Json::Num(bounded.pending_at_horizon as f64),
+        ),
+        (
+            "unbounded_pending_at_horizon",
+            Json::Num(unbounded.pending_at_horizon as f64),
+        ),
+        ("unbounded_completed", Json::Num(unbounded.completed as f64)),
+        ("traffic_wall_s", Json::Num(wall)),
+    ])
+}
+
 /// Next free `BENCH_<n>.json` slot at the repo root.
 fn next_bench_path(root: &Path) -> PathBuf {
     let mut max_n = 0u64;
@@ -1075,7 +1288,8 @@ fn next_bench_path(root: &Path) -> PathBuf {
 /// hardware is normalized to this machine's speed before the tolerance is
 /// applied. Reports without a calibration field compare unscaled.
 fn regressions(current: &Json, baseline: &Json, tolerance: f64) -> Vec<String> {
-    // Wall-clock gates only: quality metrics (condition, density) are
+    // Wall-clock gates, plus the traffic scenarios' virtual-clock SLO
+    // keys below: quality metrics (condition, density) are
     // seed-deterministic and belong to correctness tests, not a perf gate.
     // The solve keys gate once a regenerated baseline carries `<case>/solve`
     // scenarios (solve latency is a tracked metric, not best-effort), and
@@ -1094,6 +1308,12 @@ fn regressions(current: &Json, baseline: &Json, tolerance: f64) -> Vec<String> {
         "shard_update_wall_s",
         "shard_publish_wall_s",
     ];
+    // Virtual-clock gates from the traffic scenarios: deterministic
+    // functions of (seed, scale, config), identical at any machine speed
+    // and worker width — so the machine-speed calibration ratio must NOT
+    // touch them (scaling by hardware would loosen or falsely trip a bar
+    // that hardware cannot move).
+    const GATED_VIRTUAL: [&str; 2] = ["traffic_p99_s", "shed_fraction"];
     // Absolute floor absorbing scheduler/timer noise on sub-5 ms scenarios.
     const FLOOR_S: f64 = 0.005;
     let machine_scale = match (
@@ -1113,11 +1333,15 @@ fn regressions(current: &Json, baseline: &Json, tolerance: f64) -> Vec<String> {
             out.push(format!("scenario {id} missing from current run"));
             continue;
         };
-        for key in GATED {
+        let keyed_scales = GATED
+            .iter()
+            .map(|&k| (k, machine_scale))
+            .chain(GATED_VIRTUAL.iter().map(|&k| (k, 1.0)));
+        for (key, scale) in keyed_scales {
             let (Some(&b), Some(&c)) = (base_metrics.get(key), cur_metrics.get(key)) else {
                 continue;
             };
-            let b_scaled = b * machine_scale;
+            let b_scaled = b * scale;
             if c > b_scaled * (1.0 + tolerance) + FLOOR_S {
                 out.push(format!(
                     "{id} {key}: {} → {} (> {:.0}% + {:.0} ms budget at machine scale {:.2})",
@@ -1125,7 +1349,7 @@ fn regressions(current: &Json, baseline: &Json, tolerance: f64) -> Vec<String> {
                     fmt_secs(c),
                     tolerance * 100.0,
                     FLOOR_S * 1e3,
-                    machine_scale,
+                    scale,
                 ));
             }
         }
@@ -1164,6 +1388,7 @@ fn main() -> ExitCode {
         scenarios.push(run_serve_scenario(case, &fixture, &args));
         scenarios.push(run_recover_scenario(case, &fixture, &args));
         scenarios.push(run_shard_scenario(case, &fixture, &args));
+        scenarios.push(run_traffic_scenario(case, &fixture, &args));
     }
 
     let doc = obj(vec![

@@ -44,7 +44,7 @@ use crate::snapshot::{
 };
 use crate::Result;
 use ingrass_graph::{DisjointSets, Graph, NodeId};
-use ingrass_metrics::{LatencySummary, ShardStats};
+use ingrass_metrics::{LatencyHistogram, LatencySummary, ShardStats};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -194,6 +194,7 @@ pub struct ShardedEngine {
     boundary_epoch_weight: f64,
     boundary_deleted_weight: f64,
     per_shard_update: Vec<LatencySummary>,
+    per_shard_hist: Vec<LatencyHistogram>,
     per_shard_ops: Vec<u64>,
 }
 
@@ -295,6 +296,7 @@ impl ShardedEngine {
             boundary_epoch_weight,
             boundary_deleted_weight: 0.0,
             per_shard_update: vec![LatencySummary::new(); s],
+            per_shard_hist: vec![LatencyHistogram::new(); s],
             per_shard_ops: vec![0; s],
         })
     }
@@ -447,6 +449,7 @@ impl ShardedEngine {
             match res {
                 Ok(rep) => {
                     self.per_shard_update[sh].record(wall);
+                    self.per_shard_hist[sh].record(wall);
                     self.per_shard_ops[sh] += rep.batch_size as u64;
                     report.shard_reports[sh] = Some(rep);
                 }
@@ -652,6 +655,7 @@ impl ShardedEngine {
     pub fn shard_stats(&self) -> ShardStats {
         ShardStats::from_shards(
             &self.per_shard_update,
+            &self.per_shard_hist,
             &self.per_shard_ops,
             self.boundary.len(),
             self.boundary.node_count(),
@@ -877,6 +881,7 @@ impl ShardedEngine {
             boundary_epoch_weight: state.boundary_epoch_weight,
             boundary_deleted_weight: state.boundary_deleted_weight,
             per_shard_update: vec![LatencySummary::new(); s],
+            per_shard_hist: vec![LatencyHistogram::new(); s],
             per_shard_ops: state.per_shard_ops,
         })
     }

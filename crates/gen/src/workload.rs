@@ -1,0 +1,423 @@
+//! Open-loop traffic generation for the serving front end.
+//!
+//! The churn/insertion streams in [`crate::ChurnStream`] say *what* the
+//! updates are; a [`WorkloadTrace`] says *when* requests arrive and *who*
+//! sends them. It is an open-loop arrival schedule — clients do not wait
+//! for responses, which is exactly the regime where an unbounded admission
+//! queue grows without limit and a bounded one must shed — over a virtual
+//! clock, so the same trace replays bit-identically on any machine at any
+//! worker width.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// When requests arrive: the inter-arrival sampler of a
+/// [`WorkloadTrace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant mean rate — exponential
+    /// inter-arrival gaps.
+    Poisson {
+        /// Mean arrival rate (requests per virtual second).
+        rate_hz: f64,
+    },
+    /// Square-wave bursts: within each period the first `duty` fraction
+    /// arrives at `burst_hz`, the rest at `base_hz` (both memoryless
+    /// within their phase). Models diurnal spikes and thundering herds.
+    Burst {
+        /// Off-burst mean arrival rate (requests per virtual second).
+        base_hz: f64,
+        /// In-burst mean arrival rate (requests per virtual second).
+        burst_hz: f64,
+        /// Length of one burst cycle (virtual seconds).
+        period_s: f64,
+        /// Fraction of each period spent bursting, in `(0, 1)`.
+        duty: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Mean arrival rate of the process (requests per virtual second).
+    pub fn mean_rate_hz(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_hz } => rate_hz,
+            ArrivalProcess::Burst {
+                base_hz,
+                burst_hz,
+                duty,
+                ..
+            } => duty * burst_hz + (1.0 - duty) * base_hz,
+        }
+    }
+
+    /// Instantaneous rate at virtual time `t`.
+    fn rate_at(&self, t: f64) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_hz } => rate_hz,
+            ArrivalProcess::Burst {
+                base_hz,
+                burst_hz,
+                period_s,
+                duty,
+            } => {
+                let phase = (t / period_s).fract();
+                if phase < duty {
+                    burst_hz
+                } else {
+                    base_hz
+                }
+            }
+        }
+    }
+}
+
+/// Configuration of [`WorkloadTrace::generate`].
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Virtual length of the trace (seconds).
+    pub duration_s: f64,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Number of tenants issuing solve requests.
+    pub tenants: usize,
+    /// The tenant receiving the hot-tenant bias.
+    pub hot_tenant: usize,
+    /// Fraction of solve requests issued by [`WorkloadConfig::hot_tenant`];
+    /// the rest pick a tenant uniformly.
+    pub hot_tenant_fraction: f64,
+    /// Distinct right-hand-side keys (a key seeds the request's RHS, so
+    /// equal keys mean identical requests — a cacheable/hot query).
+    pub keys: u64,
+    /// Size of the hot-key subset (`keys` prefix `0..hot_keys`).
+    pub hot_keys: u64,
+    /// Fraction of solve requests drawn from the hot-key subset; the rest
+    /// pick a key uniformly over all keys.
+    pub hot_key_fraction: f64,
+    /// Fraction of arrivals that are *writer churn* events instead of
+    /// reader solves — the mixed read/write traffic the snapshot engine
+    /// serves in production.
+    pub churn_fraction: f64,
+    /// RNG seed; the whole trace is a deterministic function of it.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            duration_s: 10.0,
+            arrivals: ArrivalProcess::Poisson { rate_hz: 50.0 },
+            tenants: 3,
+            hot_tenant: 0,
+            hot_tenant_fraction: 0.5,
+            keys: 64,
+            hot_keys: 4,
+            hot_key_fraction: 0.7,
+            churn_fraction: 0.05,
+            seed: 42,
+        }
+    }
+}
+
+/// One arrival of a [`WorkloadTrace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficEvent {
+    /// Virtual arrival time (seconds from trace start, strictly
+    /// increasing across the trace).
+    pub at_s: f64,
+    /// What arrived.
+    pub kind: TrafficEventKind,
+}
+
+/// The payload of a [`TrafficEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficEventKind {
+    /// A reader solve request.
+    Solve {
+        /// Issuing tenant (`0..tenants`).
+        tenant: usize,
+        /// Right-hand-side key (`0..keys`).
+        key: u64,
+    },
+    /// A writer churn step: the driver applies the next batch of its
+    /// churn stream (`batch` is the running churn-step index).
+    Churn {
+        /// 0-based index of this churn step within the trace.
+        batch: usize,
+    },
+}
+
+/// A replayable open-loop arrival schedule: virtual timestamps plus
+/// tenant/key labels for solves and step indices for churn.
+///
+/// # Example
+/// ```
+/// use ingrass_gen::{WorkloadConfig, WorkloadTrace, TrafficEventKind};
+/// let trace = WorkloadTrace::generate(&WorkloadConfig::default());
+/// assert!(trace.solves() > 0);
+/// // Deterministic: the same config replays the same trace.
+/// let again = WorkloadTrace::generate(&WorkloadConfig::default());
+/// assert_eq!(trace.events(), again.events());
+/// // Timestamps are strictly increasing and within the duration.
+/// for w in trace.events().windows(2) {
+///     assert!(w[0].at_s < w[1].at_s);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadTrace {
+    events: Vec<TrafficEvent>,
+    solves: usize,
+    churns: usize,
+}
+
+impl WorkloadTrace {
+    /// Generates the trace for `cfg`.
+    ///
+    /// # Panics
+    /// Panics if the duration or a rate is not positive, a fraction is
+    /// outside `[0, 1]`, `hot_tenant` does not name a tenant, or the
+    /// hot-key subset exceeds the key space.
+    pub fn generate(cfg: &WorkloadConfig) -> Self {
+        assert!(
+            cfg.duration_s.is_finite() && cfg.duration_s > 0.0,
+            "duration must be positive"
+        );
+        match cfg.arrivals {
+            ArrivalProcess::Poisson { rate_hz } => {
+                assert!(
+                    rate_hz.is_finite() && rate_hz > 0.0,
+                    "rate must be positive"
+                );
+            }
+            ArrivalProcess::Burst {
+                base_hz,
+                burst_hz,
+                period_s,
+                duty,
+            } => {
+                assert!(
+                    base_hz.is_finite() && base_hz > 0.0 && burst_hz.is_finite() && burst_hz > 0.0,
+                    "rates must be positive"
+                );
+                assert!(
+                    period_s.is_finite() && period_s > 0.0,
+                    "period must be positive"
+                );
+                assert!(duty > 0.0 && duty < 1.0, "duty must be in (0, 1)");
+            }
+        }
+        for (name, f) in [
+            ("hot_tenant_fraction", cfg.hot_tenant_fraction),
+            ("hot_key_fraction", cfg.hot_key_fraction),
+            ("churn_fraction", cfg.churn_fraction),
+        ] {
+            assert!(
+                f.is_finite() && (0.0..=1.0).contains(&f),
+                "{name} must be within [0, 1]"
+            );
+        }
+        assert!(cfg.tenants >= 1, "need at least one tenant");
+        assert!(cfg.hot_tenant < cfg.tenants, "hot tenant out of range");
+        assert!(cfg.keys >= 1, "need at least one key");
+        assert!(cfg.hot_keys <= cfg.keys, "hot-key subset exceeds key space");
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut events = Vec::new();
+        let (mut solves, mut churns) = (0usize, 0usize);
+        let mut t = 0.0f64;
+        loop {
+            // Exponential gap at the instantaneous rate. For the burst
+            // process this approximates the non-homogeneous Poisson by
+            // freezing the rate over one gap — gaps are short against the
+            // burst period, and the schedule stays a pure function of the
+            // seed either way.
+            let rate = cfg.arrivals.rate_at(t);
+            let u: f64 = rng.random();
+            t += -(1.0 - u).ln() / rate;
+            if t >= cfg.duration_s {
+                break;
+            }
+            let kind = if rng.random::<f64>() < cfg.churn_fraction {
+                let batch = churns;
+                churns += 1;
+                TrafficEventKind::Churn { batch }
+            } else {
+                let tenant = if rng.random::<f64>() < cfg.hot_tenant_fraction {
+                    cfg.hot_tenant
+                } else {
+                    rng.random_range(0..cfg.tenants)
+                };
+                let key = if cfg.hot_keys > 0 && rng.random::<f64>() < cfg.hot_key_fraction {
+                    rng.random_range(0..cfg.hot_keys)
+                } else {
+                    rng.random_range(0..cfg.keys)
+                };
+                solves += 1;
+                TrafficEventKind::Solve { tenant, key }
+            };
+            events.push(TrafficEvent { at_s: t, kind });
+        }
+        WorkloadTrace {
+            events,
+            solves,
+            churns,
+        }
+    }
+
+    /// The arrivals, in strictly increasing virtual time.
+    pub fn events(&self) -> &[TrafficEvent] {
+        &self.events
+    }
+
+    /// Solve arrivals in the trace.
+    pub fn solves(&self) -> usize {
+        self.solves
+    }
+
+    /// Churn arrivals in the trace.
+    pub fn churns(&self) -> usize {
+        self.churns
+    }
+
+    /// Solve arrivals per tenant (length = max tenant index + 1 observed,
+    /// padded to at least `tenants` entries when passed).
+    pub fn solves_per_tenant(&self, tenants: usize) -> Vec<usize> {
+        let mut per = vec![0usize; tenants];
+        for e in &self.events {
+            if let TrafficEventKind::Solve { tenant, .. } = e.kind {
+                if tenant >= per.len() {
+                    per.resize(tenant + 1, 0);
+                }
+                per[tenant] += 1;
+            }
+        }
+        per
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_for_seed_and_differs_across_seeds() {
+        let cfg = WorkloadConfig::default();
+        let a = WorkloadTrace::generate(&cfg);
+        let b = WorkloadTrace::generate(&cfg);
+        assert_eq!(a, b);
+        let c = WorkloadTrace::generate(&WorkloadConfig { seed: 7, ..cfg });
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn poisson_arrival_count_tracks_the_rate() {
+        let cfg = WorkloadConfig {
+            duration_s: 50.0,
+            arrivals: ArrivalProcess::Poisson { rate_hz: 40.0 },
+            churn_fraction: 0.0,
+            ..Default::default()
+        };
+        let trace = WorkloadTrace::generate(&cfg);
+        // E[N] = 2000, sd ≈ 45; allow ±5 sd.
+        let n = trace.events().len() as f64;
+        assert!((n - 2000.0).abs() < 225.0, "count {n}");
+        assert_eq!(trace.solves(), trace.events().len());
+        for w in trace.events().windows(2) {
+            assert!(w[0].at_s < w[1].at_s, "timestamps must increase");
+        }
+        assert!(trace.events().last().unwrap().at_s < cfg.duration_s);
+    }
+
+    #[test]
+    fn burst_process_clusters_arrivals_into_the_duty_window() {
+        let period = 2.0;
+        let duty = 0.25;
+        let cfg = WorkloadConfig {
+            duration_s: 40.0,
+            arrivals: ArrivalProcess::Burst {
+                base_hz: 10.0,
+                burst_hz: 200.0,
+                period_s: period,
+                duty,
+            },
+            churn_fraction: 0.0,
+            ..Default::default()
+        };
+        let trace = WorkloadTrace::generate(&cfg);
+        let in_burst = trace
+            .events()
+            .iter()
+            .filter(|e| (e.at_s / period).fract() < duty)
+            .count();
+        let frac = in_burst as f64 / trace.events().len() as f64;
+        // Burst window carries 200·0.25 / (200·0.25 + 10·0.75) ≈ 87 % of
+        // arrivals.
+        assert!(frac > 0.75, "burst fraction {frac}");
+        let mean = cfg.arrivals.mean_rate_hz();
+        assert!((mean - 57.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_tenant_and_hot_keys_dominate_the_mix() {
+        let cfg = WorkloadConfig {
+            duration_s: 30.0,
+            arrivals: ArrivalProcess::Poisson { rate_hz: 100.0 },
+            tenants: 4,
+            hot_tenant: 2,
+            hot_tenant_fraction: 0.6,
+            keys: 100,
+            hot_keys: 5,
+            hot_key_fraction: 0.8,
+            churn_fraction: 0.0,
+            seed: 9,
+        };
+        let trace = WorkloadTrace::generate(&cfg);
+        let per = trace.solves_per_tenant(cfg.tenants);
+        assert_eq!(per.iter().sum::<usize>(), trace.solves());
+        // Hot tenant draws 0.6 + 0.4/4 = 70 % of requests.
+        let hot_share = per[2] as f64 / trace.solves() as f64;
+        assert!((hot_share - 0.7).abs() < 0.06, "hot share {hot_share}");
+        let hot_key_hits = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TrafficEventKind::Solve { key, .. } if key < 5))
+            .count();
+        let key_share = hot_key_hits as f64 / trace.solves() as f64;
+        // 0.8 + 0.2·(5/100) = 81 %.
+        assert!(key_share > 0.7, "hot-key share {key_share}");
+    }
+
+    #[test]
+    fn churn_fraction_mixes_writer_events_with_running_indices() {
+        let cfg = WorkloadConfig {
+            duration_s: 20.0,
+            arrivals: ArrivalProcess::Poisson { rate_hz: 50.0 },
+            churn_fraction: 0.2,
+            ..Default::default()
+        };
+        let trace = WorkloadTrace::generate(&cfg);
+        assert!(trace.churns() > 0 && trace.solves() > 0);
+        assert_eq!(trace.churns() + trace.solves(), trace.events().len());
+        let share = trace.churns() as f64 / trace.events().len() as f64;
+        assert!((share - 0.2).abs() < 0.06, "churn share {share}");
+        // Churn batch indices are the sequence 0, 1, 2, … in time order.
+        let batches: Vec<usize> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TrafficEventKind::Churn { batch } => Some(batch),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(batches, (0..trace.churns()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "hot tenant out of range")]
+    fn invalid_hot_tenant_is_rejected() {
+        WorkloadTrace::generate(&WorkloadConfig {
+            tenants: 2,
+            hot_tenant: 5,
+            ..Default::default()
+        });
+    }
+}

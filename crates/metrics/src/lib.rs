@@ -20,6 +20,7 @@ mod condition;
 mod density;
 mod distortion;
 mod error;
+mod histogram;
 mod latency;
 mod shard;
 mod trajectory;
@@ -28,6 +29,7 @@ pub use condition::{estimate_condition_number, ConditionEstimate, ConditionOptio
 pub use density::{DensityReport, SparsifierDensity};
 pub use distortion::{offtree_distortion_stats, DistortionStats};
 pub use error::MetricsError;
+pub use histogram::LatencyHistogram;
 pub use latency::LatencySummary;
 pub use shard::ShardStats;
 pub use trajectory::{ConditionTrajectory, TrajectoryPoint};

@@ -6,7 +6,7 @@
 //! work`, measured in routed operations so it is deterministic even on a
 //! single-CPU CI container where wall-clock ratios are meaningless.
 
-use crate::LatencySummary;
+use crate::{LatencyHistogram, LatencySummary};
 
 /// Aggregated view of how work spread across the shards of a sharded
 /// engine, surfaced through `PublishReport` and the perf harness JSON.
@@ -17,6 +17,9 @@ pub struct ShardStats {
     /// All per-shard update batch latencies merged into one summary
     /// (so `total_seconds` is the *summed* per-shard update wall).
     pub update: LatencySummary,
+    /// The same update latencies as a log-scale histogram, so callers can
+    /// read tail percentiles (`p99`) and not just min/mean/max.
+    pub update_histogram: LatencyHistogram,
     /// Largest number of operations any single shard has applied.
     pub max_shard_ops: u64,
     /// Total operations routed to shards (excludes boundary ops).
@@ -34,21 +37,28 @@ pub struct ShardStats {
 impl ShardStats {
     /// Builds the summary from per-shard accumulators.
     ///
-    /// `per_shard` and `ops_per_shard` must be indexed by shard id and
-    /// have the same length; the constructor merges the latency
-    /// summaries with [`LatencySummary::merge`] and derives the
-    /// imbalance ratio from the routed-op counts.
+    /// `per_shard`, `per_shard_hist`, and `ops_per_shard` must be indexed
+    /// by shard id and have the same length; the constructor merges the
+    /// latency summaries with [`LatencySummary::merge`], the histograms
+    /// with [`LatencyHistogram::merge`], and derives the imbalance ratio
+    /// from the routed-op counts.
     pub fn from_shards(
         per_shard: &[LatencySummary],
+        per_shard_hist: &[LatencyHistogram],
         ops_per_shard: &[u64],
         boundary_edges: usize,
         boundary_nodes: usize,
     ) -> ShardStats {
         debug_assert_eq!(per_shard.len(), ops_per_shard.len());
+        debug_assert_eq!(per_shard.len(), per_shard_hist.len());
         let shards = per_shard.len();
         let mut update = LatencySummary::new();
         for s in per_shard {
             update.merge(s);
+        }
+        let mut update_histogram = LatencyHistogram::new();
+        for h in per_shard_hist {
+            update_histogram.merge(h);
         }
         let total_shard_ops: u64 = ops_per_shard.iter().sum();
         let max_shard_ops = ops_per_shard.iter().copied().max().unwrap_or(0);
@@ -61,6 +71,7 @@ impl ShardStats {
         ShardStats {
             shards,
             update,
+            update_histogram,
             max_shard_ops,
             total_shard_ops,
             imbalance_ratio,
@@ -76,16 +87,29 @@ mod tests {
 
     #[test]
     fn empty_shards_report_unit_imbalance() {
-        let stats = ShardStats::from_shards(&[LatencySummary::new(); 4], &[0; 4], 0, 0);
+        let stats = ShardStats::from_shards(
+            &[LatencySummary::new(); 4],
+            &[LatencyHistogram::new(); 4],
+            &[0; 4],
+            0,
+            0,
+        );
         assert_eq!(stats.shards, 4);
         assert_eq!(stats.imbalance_ratio, 1.0);
         assert_eq!(stats.update.count(), 0);
+        assert_eq!(stats.update_histogram.count(), 0);
     }
 
     #[test]
     fn imbalance_is_max_over_mean() {
         // 4 shards, ops 30/10/10/10 → mean 15, max 30 → ratio 2.0.
-        let stats = ShardStats::from_shards(&[LatencySummary::new(); 4], &[30, 10, 10, 10], 3, 5);
+        let stats = ShardStats::from_shards(
+            &[LatencySummary::new(); 4],
+            &[LatencyHistogram::new(); 4],
+            &[30, 10, 10, 10],
+            3,
+            5,
+        );
         assert!((stats.imbalance_ratio - 2.0).abs() < 1e-12);
         assert_eq!(stats.max_shard_ops, 30);
         assert_eq!(stats.total_shard_ops, 60);
@@ -100,9 +124,19 @@ mod tests {
         a.record(0.75);
         let mut b = LatencySummary::new();
         b.record(0.5);
-        let stats = ShardStats::from_shards(&[a, b], &[2, 1], 0, 0);
+        let mut ha = LatencyHistogram::new();
+        ha.record(0.25);
+        ha.record(0.75);
+        let mut hb = LatencyHistogram::new();
+        hb.record(0.5);
+        let stats = ShardStats::from_shards(&[a, b], &[ha, hb], &[2, 1], 0, 0);
         assert_eq!(stats.update.count(), 3);
         assert!((stats.update.total_seconds() - 1.5).abs() < 1e-12);
         assert!((stats.update.max_seconds() - 0.75).abs() < 1e-12);
+        assert_eq!(stats.update_histogram.count(), 3);
+        // 0.75 lands in the [0.75, 1.0) bucket; bucket interpolation may
+        // report up to the bucket's upper bound.
+        let p99 = stats.update_histogram.p99();
+        assert!(p99 > 0.5 && p99 <= 1.0, "p99 {p99}");
     }
 }

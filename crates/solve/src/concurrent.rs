@@ -36,7 +36,8 @@
 use crate::service::{PrecondKind, SolveConfig};
 use ingrass::{PhaseTimer, SparsifierSnapshot};
 use ingrass_linalg::{CgResult, CsrMatrix};
-use ingrass_metrics::LatencySummary;
+use ingrass_metrics::{LatencyHistogram, LatencySummary};
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Identifies one submitted request; [`Served`] results carry it back.
@@ -68,6 +69,11 @@ pub struct DrainReport {
     pub groups: usize,
     /// Wall seconds the round spent solving.
     pub solve_seconds: f64,
+    /// Per-request solve wall time (each request timed individually on
+    /// its worker), as a log-scale histogram — the round's latency
+    /// *distribution*, where [`DrainReport::solve_seconds`] is only the
+    /// round's span.
+    pub request_latency: LatencyHistogram,
 }
 
 impl DrainReport {
@@ -87,6 +93,9 @@ impl DrainReport {
 pub struct ConcurrentSolveStats {
     /// Requests admitted.
     pub submitted: usize,
+    /// Requests refused at the [`SolveConfig::max_pending`] cap — these
+    /// were never queued and hold no ticket.
+    pub rejected_full: usize,
     /// Requests answered.
     pub served: usize,
     /// Non-empty drain rounds.
@@ -97,6 +106,9 @@ pub struct ConcurrentSolveStats {
     pub iterations_total: usize,
     /// Per-round solve wall time.
     pub drain_latency: LatencySummary,
+    /// Per-request solve wall time across all rounds (the merge of every
+    /// round's [`DrainReport::request_latency`]).
+    pub request_latency: LatencyHistogram,
 }
 
 /// A pending admission group: requests against one snapshot/Laplacian pair.
@@ -107,8 +119,33 @@ struct Group {
     tickets: Vec<u64>,
 }
 
+/// Coalescing key of an admission group: the snapshot's published identity
+/// plus the system matrix it is paired with (by allocation — two `Arc`s to
+/// the same Laplacian share a pointer). Keyed lookup makes `submit`
+/// O(1) in the number of pending groups where the old `Arc::ptr_eq` scan
+/// was O(groups) — quadratic total when readers hold many distinct
+/// snapshots.
+type GroupKey = (u64, u64, u64, usize);
+
+fn group_key(snapshot: &SparsifierSnapshot, laplacian: &Arc<CsrMatrix>) -> GroupKey {
+    (
+        snapshot.instance_id(),
+        snapshot.epoch(),
+        snapshot.version(),
+        Arc::as_ptr(laplacian) as usize,
+    )
+}
+
 struct Inner {
+    /// Pending groups in admission order (drain order must not depend on
+    /// map iteration order).
     groups: Vec<Group>,
+    /// `GroupKey` → index into `groups`; rebuilt empty at every drain.
+    index: HashMap<GroupKey, usize>,
+    /// Requests admitted and not yet drained — maintained on
+    /// submit/drain so `pending()` is O(1) instead of re-summing every
+    /// group under the lock.
+    pending: usize,
     next_ticket: u64,
     stats: ConcurrentSolveStats,
 }
@@ -156,10 +193,7 @@ impl std::fmt::Debug for ConcurrentSolveService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let (pending, stats) = {
             let inner = self.lock();
-            (
-                inner.groups.iter().map(|g| g.rhss.len()).sum::<usize>(),
-                inner.stats,
-            )
+            (inner.pending, inner.stats)
         };
         f.debug_struct("ConcurrentSolveService")
             .field("cfg", &self.cfg)
@@ -179,6 +213,8 @@ impl ConcurrentSolveService {
             cfg,
             inner: Mutex::new(Inner {
                 groups: Vec::new(),
+                index: HashMap::new(),
+                pending: 0,
                 next_ticket: 0,
                 stats: ConcurrentSolveStats::default(),
             }),
@@ -197,11 +233,17 @@ impl ConcurrentSolveService {
     /// Admits one right-hand side to be solved against `snapshot`
     /// (preconditioner) and `laplacian` (the system matrix — the original
     /// graph's Laplacian matching the snapshot's version). Requests naming
-    /// the same snapshot coalesce into one admission group.
+    /// the same snapshot coalesce into one admission group — located by a
+    /// keyed map, so submission cost does not grow with the number of
+    /// distinct pending snapshots.
     ///
     /// # Errors
-    /// [`crate::SolveError::Dimension`] if the Laplacian or right-hand
-    /// side shape disagrees with the snapshot's node count.
+    /// * [`crate::SolveError::Dimension`] if the Laplacian or right-hand
+    ///   side shape disagrees with the snapshot's node count.
+    /// * [`crate::SolveError::QueueFull`] if [`SolveConfig::max_pending`]
+    ///   is set and that many requests are already pending; the request
+    ///   is counted in [`ConcurrentSolveStats::rejected_full`] and never
+    ///   queued (no ticket is consumed).
     pub fn submit(
         &self,
         snapshot: &Arc<SparsifierSnapshot>,
@@ -210,30 +252,40 @@ impl ConcurrentSolveService {
     ) -> crate::Result<Ticket> {
         crate::service::check_dims(snapshot.num_nodes(), laplacian, std::slice::from_ref(&rhs))?;
         let mut inner = self.lock();
+        if let Some(cap) = self.cfg.max_pending {
+            if inner.pending >= cap {
+                inner.stats.rejected_full += 1;
+                return Err(crate::SolveError::QueueFull { max_pending: cap });
+            }
+        }
         let ticket = inner.next_ticket;
         inner.next_ticket += 1;
         inner.stats.submitted += 1;
-        if let Some(group) = inner
-            .groups
-            .iter_mut()
-            .find(|g| Arc::ptr_eq(&g.snapshot, snapshot) && Arc::ptr_eq(&g.laplacian, laplacian))
-        {
-            group.rhss.push(rhs);
-            group.tickets.push(ticket);
-        } else {
-            inner.groups.push(Group {
-                snapshot: Arc::clone(snapshot),
-                laplacian: Arc::clone(laplacian),
-                rhss: vec![rhs],
-                tickets: vec![ticket],
-            });
+        inner.pending += 1;
+        let key = group_key(snapshot, laplacian);
+        match inner.index.get(&key) {
+            Some(&gi) => {
+                let group = &mut inner.groups[gi];
+                group.rhss.push(rhs);
+                group.tickets.push(ticket);
+            }
+            None => {
+                let gi = inner.groups.len();
+                inner.groups.push(Group {
+                    snapshot: Arc::clone(snapshot),
+                    laplacian: Arc::clone(laplacian),
+                    rhss: vec![rhs],
+                    tickets: vec![ticket],
+                });
+                inner.index.insert(key, gi);
+            }
         }
         Ok(Ticket(ticket))
     }
 
-    /// Requests admitted but not yet drained.
+    /// Requests admitted but not yet drained (an O(1) counter read).
     pub fn pending(&self) -> usize {
-        self.lock().groups.iter().map(|g| g.rhss.len()).sum()
+        self.lock().pending
     }
 
     /// Lifetime counters (copied out under the lock).
@@ -253,12 +305,18 @@ impl ConcurrentSolveService {
     /// preconditioner. Non-convergence is reported per request, not as an
     /// error.
     pub fn drain(&self) -> DrainReport {
-        let groups: Vec<Group> = std::mem::take(&mut self.lock().groups);
+        let groups: Vec<Group> = {
+            let mut inner = self.lock();
+            inner.index.clear();
+            inner.pending = 0;
+            std::mem::take(&mut inner.groups)
+        };
         if groups.is_empty() {
             return DrainReport {
                 served: Vec::new(),
                 groups: 0,
                 solve_seconds: 0.0,
+                request_latency: LatencyHistogram::new(),
             };
         }
 
@@ -271,27 +329,33 @@ impl ConcurrentSolveService {
             .collect();
         let threads = self.cfg.threads.unwrap_or_else(ingrass_par::num_threads);
         let timer = PhaseTimer::start();
-        let solved: Vec<(Vec<f64>, CgResult)> =
+        let solved: Vec<(Vec<f64>, CgResult, f64)> =
             ingrass_par::par_map_with(threads, &tasks, |&(gi, ri)| {
                 let g = &groups[gi];
-                crate::service::solve_projected(
+                let one = PhaseTimer::start();
+                let (x, result) = crate::service::solve_projected(
                     &g.laplacian,
                     &g.rhss[ri],
                     g.snapshot.preconditioner(),
                     &self.cfg.cg,
-                )
+                );
+                (x, result, one.total().as_secs_f64())
             });
         let solve_seconds = timer.total().as_secs_f64();
 
+        let mut request_latency = LatencyHistogram::new();
         let mut served: Vec<Served> = tasks
             .iter()
             .zip(solved)
-            .map(|(&(gi, ri), (x, result))| Served {
-                ticket: Ticket(groups[gi].tickets[ri]),
-                epoch: groups[gi].snapshot.epoch(),
-                version: groups[gi].snapshot.version(),
-                x,
-                result,
+            .map(|(&(gi, ri), (x, result, wall))| {
+                request_latency.record(wall);
+                Served {
+                    ticket: Ticket(groups[gi].tickets[ri]),
+                    epoch: groups[gi].snapshot.epoch(),
+                    version: groups[gi].snapshot.version(),
+                    x,
+                    result,
+                }
             })
             .collect();
         served.sort_by_key(|s| s.ticket);
@@ -302,12 +366,14 @@ impl ConcurrentSolveService {
         inner.stats.groups_served += groups.len();
         inner.stats.iterations_total += served.iter().map(|s| s.result.iterations).sum::<usize>();
         inner.stats.drain_latency.record(solve_seconds);
+        inner.stats.request_latency.merge(&request_latency);
         drop(inner);
 
         DrainReport {
             served,
             groups: groups.len(),
             solve_seconds,
+            request_latency,
         }
     }
 }
@@ -521,6 +587,101 @@ mod tests {
             "churn this mild should patch the factor, not refactor \
              ({patched_publishes}/6 publishes patched)"
         );
+    }
+
+    #[test]
+    fn queue_cap_rejects_flood_without_queueing() {
+        let engine = SnapshotEngine::setup(&ring(16), &SetupConfig::default()).unwrap();
+        let snap = engine.snapshot();
+        let lap = snap.laplacian_arc();
+        let svc = ConcurrentSolveService::new(SolveConfig {
+            max_pending: Some(8),
+            ..Default::default()
+        });
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for k in 0..20 {
+            match svc.submit(&snap, &lap, pair_rhs(16, k % 16, (k + 8) % 16)) {
+                Ok(_) => accepted += 1,
+                Err(SolveError::QueueFull { max_pending: 8 }) => rejected += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!((accepted, rejected), (8, 12));
+        assert_eq!(svc.pending(), 8, "rejected requests must never queue");
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.rejected_full, 12);
+
+        // Draining frees the queue; admission resumes and rejected
+        // requests consumed no tickets (the sequence stays contiguous).
+        let round = svc.drain();
+        assert_eq!(round.served.len(), 8);
+        assert_eq!(round.served.last().unwrap().ticket, Ticket(7));
+        let t = svc.submit(&snap, &lap, pair_rhs(16, 0, 8)).unwrap();
+        assert_eq!(t, Ticket(8));
+    }
+
+    #[test]
+    fn many_distinct_snapshots_submit_in_keyed_groups() {
+        // Benchmark-shaped: readers holding many distinct snapshot
+        // versions at once. The keyed index must coalesce per version
+        // (old behavior preserved) without the O(groups) pointer scan.
+        let mut engine = SnapshotEngine::setup(&ring(16), &SetupConfig::default()).unwrap();
+        let svc = ConcurrentSolveService::new(SolveConfig::default());
+        let mut snaps = Vec::new();
+        for step in 0..12usize {
+            engine
+                .apply_batch(
+                    &[UpdateOp::Insert {
+                        u: step,
+                        v: (step + 7) % 16,
+                        weight: 1.0 + step as f64 * 0.1,
+                    }],
+                    &UpdateConfig::default(),
+                )
+                .unwrap();
+            let snap = engine.snapshot();
+            let lap = snap.laplacian_arc();
+            snaps.push((snap, lap));
+        }
+        // Two submissions per snapshot, interleaved so coalescing cannot
+        // rely on adjacency; plus one through a *cloned* Arc, which maps
+        // to the same (instance, epoch, version) key.
+        for (snap, lap) in &snaps {
+            svc.submit(snap, lap, pair_rhs(16, 0, 8)).unwrap();
+        }
+        for (snap, lap) in &snaps {
+            let snap2 = Arc::clone(snap);
+            svc.submit(&snap2, lap, pair_rhs(16, 1, 9)).unwrap();
+        }
+        assert_eq!(svc.pending(), 24);
+        let round = svc.drain();
+        assert_eq!(round.groups, snaps.len(), "one group per snapshot version");
+        assert_eq!(round.served.len(), 24);
+        assert!(round.all_converged());
+    }
+
+    #[test]
+    fn pending_counter_tracks_submit_and_drain() {
+        let engine = SnapshotEngine::setup(&ring(16), &SetupConfig::default()).unwrap();
+        let snap = engine.snapshot();
+        let lap = snap.laplacian_arc();
+        let svc = ConcurrentSolveService::new(SolveConfig::default());
+        assert_eq!(svc.pending(), 0);
+        for k in 1..=5 {
+            svc.submit(&snap, &lap, pair_rhs(16, k, k + 8)).unwrap();
+            assert_eq!(svc.pending(), k);
+        }
+        let round = svc.drain();
+        assert_eq!(round.served.len(), 5);
+        assert_eq!(svc.pending(), 0);
+        // The round's per-request histogram saw exactly the served count.
+        assert_eq!(round.request_latency.count(), 5);
+        assert_eq!(svc.stats().request_latency.count(), 5);
+        // Refills after a drain.
+        svc.submit(&snap, &lap, pair_rhs(16, 2, 11)).unwrap();
+        assert_eq!(svc.pending(), 1);
     }
 
     #[test]

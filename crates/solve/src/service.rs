@@ -105,6 +105,12 @@ pub enum SolveError {
     },
     /// Extracting the preconditioner from the engine failed.
     Precondition(String),
+    /// The admission queue is at its [`SolveConfig::max_pending`] cap;
+    /// the request was rejected without being queued.
+    QueueFull {
+        /// The configured cap the queue is sitting at.
+        max_pending: usize,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -116,6 +122,9 @@ impl fmt::Display for SolveError {
                 what,
             } => write!(f, "{what} has dimension {found}, engine expects {expected}"),
             SolveError::Precondition(msg) => write!(f, "preconditioner extraction failed: {msg}"),
+            SolveError::QueueFull { max_pending } => {
+                write!(f, "admission queue full ({max_pending} pending)")
+            }
         }
     }
 }
@@ -149,6 +158,12 @@ pub struct SolveConfig {
     /// Worker threads for multi-RHS batches (`None` = the ambient
     /// `ingrass-par` width). Results are bit-identical at any width.
     pub threads: Option<usize>,
+    /// Admission cap for [`crate::ConcurrentSolveService`]: once this many
+    /// requests are pending, further submissions are rejected with
+    /// [`SolveError::QueueFull`] instead of growing the queue without
+    /// bound. `None` (the default, and the only mode the single-caller
+    /// [`SolveService`] ever sees) admits everything.
+    pub max_pending: Option<usize>,
 }
 
 impl Default for SolveConfig {
@@ -159,6 +174,7 @@ impl Default for SolveConfig {
                 .with_rel_tol(1e-8)
                 .with_max_iters(20_000),
             threads: None,
+            max_pending: None,
         }
     }
 }

@@ -1,0 +1,46 @@
+//! The serving front end of the inGRASS reproduction: bounded admission,
+//! per-tenant weighted-fair dequeue, deadline shedding, and p99 SLO
+//! accounting over `ingrass_solve::ConcurrentSolveService`.
+//!
+//! The solve service underneath admits every request it is handed; under
+//! sustained overload that queue grows without bound and every request's
+//! latency with it. This crate adds the machinery a real service puts in
+//! front of such a backend:
+//!
+//! * [`AdmissionQueue`] — a bounded queue ([`TrafficConfig::max_pending`])
+//!   with per-tenant lanes drained by deficit round-robin
+//!   ([`TrafficConfig::tenant_weights`]) and per-request deadlines:
+//!   expired work is shed at dispatch, *before* it burns solver time.
+//!   Both loss modes are typed ([`Rejected::Full`],
+//!   [`Rejected::DeadlineExceeded`]) and counted in [`TrafficStats`].
+//! * [`run_open_loop`] — the deterministic load harness: replays an
+//!   `ingrass_gen::WorkloadTrace` (seeded Poisson/burst arrivals,
+//!   hot-tenant skew, mixed reader solves + writer churn) on a virtual
+//!   clock and reports latency percentiles from
+//!   `ingrass_metrics::LatencyHistogram` that are bit-identical at any
+//!   machine speed and worker width.
+//!
+//! # Example
+//!
+//! ```
+//! use ingrass_traffic::{AdmissionQueue, TrafficConfig};
+//!
+//! let mut q = AdmissionQueue::new(TrafficConfig {
+//!     max_pending: 64,
+//!     deadline_s: 0.25,
+//!     tenant_weights: vec![2.0, 1.0],
+//! });
+//! q.offer(0, 0.00, "premium query").unwrap();
+//! q.offer(1, 0.01, "batch query").unwrap();
+//! let round = q.dispatch(0.02, 16);
+//! assert_eq!(round.len(), 2);
+//! assert_eq!(q.stats().per_tenant_dispatched, vec![1, 1]);
+//! ```
+
+#![deny(missing_docs)]
+
+mod driver;
+mod queue;
+
+pub use driver::{run_open_loop, OpenLoopConfig, ServiceModel, TrafficError, TrafficReport};
+pub use queue::{AdmissionQueue, Dispatched, Rejected, TrafficConfig, TrafficStats};

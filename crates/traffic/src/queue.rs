@@ -1,0 +1,425 @@
+//! The bounded admission queue: per-tenant FIFO lanes, deficit
+//! round-robin weighted-fair dispatch, and deadline shedding.
+
+use ingrass_metrics::LatencyHistogram;
+use std::collections::VecDeque;
+
+/// Configuration of an [`AdmissionQueue`].
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Admission cap: once this many requests are pending, further offers
+    /// are rejected with [`Rejected::Full`]. Use `usize::MAX` for the
+    /// legacy unbounded mode.
+    pub max_pending: usize,
+    /// Per-request deadline (seconds after admission). A request still
+    /// queued when its deadline passes is shed at dispatch time —
+    /// *before* it burns any solver time. Use `f64::INFINITY` to disable
+    /// shedding.
+    pub deadline_s: f64,
+    /// Weighted-fair share per tenant; a tenant with weight 2 drains
+    /// twice as fast as one with weight 1 when both have backlog. The
+    /// length fixes the tenant count; all weights must be positive.
+    pub tenant_weights: Vec<f64>,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            max_pending: 256,
+            deadline_s: 1.0,
+            tenant_weights: vec![1.0; 4],
+        }
+    }
+}
+
+/// Why a request did not reach the solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Rejected {
+    /// The queue was at [`TrafficConfig::max_pending`]; the request was
+    /// turned away at admission.
+    Full {
+        /// Requests pending when the offer arrived.
+        pending: usize,
+    },
+    /// The request was admitted but its deadline passed before dispatch;
+    /// it was dropped from the queue without solving.
+    DeadlineExceeded {
+        /// How far past the deadline the dispatch attempt was (seconds).
+        late_by_s: f64,
+    },
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::Full { pending } => write!(f, "queue full ({pending} pending)"),
+            Rejected::DeadlineExceeded { late_by_s } => {
+                write!(f, "deadline exceeded ({late_by_s:.3}s late)")
+            }
+        }
+    }
+}
+
+/// Counters of an [`AdmissionQueue`], updated on offer/dispatch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrafficStats {
+    /// Requests offered (admitted + rejected).
+    pub offered: usize,
+    /// Requests admitted into the queue.
+    pub admitted: usize,
+    /// Offers rejected at the [`TrafficConfig::max_pending`] cap.
+    pub rejected_full: usize,
+    /// Admitted requests shed at dispatch because their deadline passed.
+    pub shed_deadline: usize,
+    /// Requests handed to the caller by [`AdmissionQueue::dispatch`].
+    pub dispatched: usize,
+    /// Dispatches per tenant (weighted-fair share audit).
+    pub per_tenant_dispatched: Vec<usize>,
+    /// Admission→dispatch queue wait of dispatched requests (virtual
+    /// seconds, so deterministic for a deterministic drive loop).
+    pub queue_wait: LatencyHistogram,
+    /// High-water mark of the pending count.
+    pub max_pending_seen: usize,
+}
+
+impl TrafficStats {
+    /// Requests that never reached the solver, as a fraction of offers
+    /// (`0` when nothing was offered).
+    pub fn shed_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            (self.rejected_full + self.shed_deadline) as f64 / self.offered as f64
+        }
+    }
+}
+
+struct Item<T> {
+    admitted_at_s: f64,
+    deadline_at_s: f64,
+    payload: T,
+}
+
+/// A request handed out by [`AdmissionQueue::dispatch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dispatched<T> {
+    /// The tenant whose lane it came from.
+    pub tenant: usize,
+    /// Virtual admission timestamp.
+    pub admitted_at_s: f64,
+    /// Admission→dispatch wait (virtual seconds).
+    pub waited_s: f64,
+    /// The caller's payload.
+    pub payload: T,
+}
+
+/// A bounded, deadline-aware, weighted-fair admission queue.
+///
+/// Admission ([`offer`](AdmissionQueue::offer)) is O(1): a full queue
+/// rejects immediately. Dispatch walks the tenant lanes with **deficit
+/// round-robin**: each visit tops a lane's deficit up by its weight and
+/// pops requests at unit cost while the deficit lasts, so long-run
+/// dispatch shares converge to the weight vector whenever lanes stay
+/// backlogged — no tenant can starve another regardless of how skewed
+/// the arrival mix is. Requests whose deadline has passed are shed during
+/// the pop *without* consuming deficit or dispatch budget: expired work
+/// never reaches the solver and never counts against its tenant's share.
+///
+/// The queue is single-threaded on purpose — the drive loop owns it, and
+/// everything it does is a deterministic function of the offer/dispatch
+/// call sequence; the concurrency lives behind it in
+/// `ingrass_solve::ConcurrentSolveService`.
+///
+/// # Example
+/// ```
+/// use ingrass_traffic::{AdmissionQueue, Rejected, TrafficConfig};
+/// let mut q = AdmissionQueue::new(TrafficConfig {
+///     max_pending: 2,
+///     deadline_s: 0.5,
+///     tenant_weights: vec![1.0, 1.0],
+/// });
+/// q.offer(0, 0.0, "a").unwrap();
+/// q.offer(1, 0.1, "b").unwrap();
+/// assert!(matches!(q.offer(0, 0.2, "c"), Err(Rejected::Full { pending: 2 })));
+/// // "a" expires at 0.5, "b" at 0.6: dispatching at 0.55 sheds "a".
+/// let round = q.dispatch(0.55, 8);
+/// assert_eq!(round.iter().map(|d| d.payload).collect::<Vec<_>>(), ["b"]);
+/// assert_eq!(q.stats().shed_deadline, 1);
+/// assert_eq!(q.pending(), 0);
+/// ```
+pub struct AdmissionQueue<T> {
+    cfg: TrafficConfig,
+    lanes: Vec<VecDeque<Item<T>>>,
+    deficits: Vec<f64>,
+    cursor: usize,
+    pending: usize,
+    stats: TrafficStats,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An empty queue under `cfg`.
+    ///
+    /// # Panics
+    /// Panics if `cfg` has no tenants, a non-positive weight, a
+    /// non-positive deadline, or a zero cap.
+    pub fn new(cfg: TrafficConfig) -> Self {
+        assert!(!cfg.tenant_weights.is_empty(), "need at least one tenant");
+        assert!(
+            cfg.tenant_weights.iter().all(|&w| w.is_finite() && w > 0.0),
+            "tenant weights must be positive"
+        );
+        assert!(cfg.deadline_s > 0.0, "deadline must be positive");
+        assert!(cfg.max_pending > 0, "cap must admit at least one request");
+        let tenants = cfg.tenant_weights.len();
+        AdmissionQueue {
+            cfg,
+            lanes: (0..tenants).map(|_| VecDeque::new()).collect(),
+            deficits: vec![0.0; tenants],
+            cursor: 0,
+            pending: 0,
+            stats: TrafficStats {
+                per_tenant_dispatched: vec![0; tenants],
+                ..TrafficStats::default()
+            },
+        }
+    }
+
+    /// The configuration the queue runs under.
+    pub fn config(&self) -> &TrafficConfig {
+        &self.cfg
+    }
+
+    /// Requests currently queued (an O(1) counter).
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Offers one request from `tenant` at virtual time `now_s`.
+    ///
+    /// # Errors
+    /// [`Rejected::Full`] if the queue is at its cap — the request is
+    /// counted and dropped, never queued.
+    ///
+    /// # Panics
+    /// Panics if `tenant` is out of range.
+    pub fn offer(&mut self, tenant: usize, now_s: f64, payload: T) -> Result<(), Rejected> {
+        assert!(tenant < self.lanes.len(), "tenant {tenant} out of range");
+        self.stats.offered += 1;
+        if self.pending >= self.cfg.max_pending {
+            self.stats.rejected_full += 1;
+            return Err(Rejected::Full {
+                pending: self.pending,
+            });
+        }
+        self.lanes[tenant].push_back(Item {
+            admitted_at_s: now_s,
+            deadline_at_s: now_s + self.cfg.deadline_s,
+            payload,
+        });
+        self.pending += 1;
+        self.stats.admitted += 1;
+        self.stats.max_pending_seen = self.stats.max_pending_seen.max(self.pending);
+        Ok(())
+    }
+
+    /// Dispatches up to `budget` requests at virtual time `now_s` in
+    /// deficit-round-robin order, shedding expired requests along the way
+    /// (shed requests cost neither deficit nor budget). Returns the
+    /// dispatched requests in dispatch order.
+    pub fn dispatch(&mut self, now_s: f64, budget: usize) -> Vec<Dispatched<T>> {
+        let tenants = self.lanes.len();
+        let mut out = Vec::new();
+        if budget == 0 {
+            return out;
+        }
+        // The DRR sweep terminates: every cycle adds each backlogged
+        // lane's (positive) weight to its deficit, so within ⌈1/w⌉
+        // cycles the lane pops — dispatching or shedding — and the
+        // pending count strictly falls.
+        while self.pending > 0 && out.len() < budget {
+            for _ in 0..tenants {
+                let t = self.cursor;
+                self.cursor = (self.cursor + 1) % tenants;
+                if self.lanes[t].is_empty() {
+                    // An idle lane holds no credit — deficits only
+                    // accumulate against live backlog.
+                    self.deficits[t] = 0.0;
+                    continue;
+                }
+                self.deficits[t] += self.cfg.tenant_weights[t];
+                while self.deficits[t] >= 1.0 && out.len() < budget {
+                    let Some(item) = self.lanes[t].pop_front() else {
+                        break;
+                    };
+                    self.pending -= 1;
+                    if now_s > item.deadline_at_s {
+                        self.stats.shed_deadline += 1;
+                        continue;
+                    }
+                    self.deficits[t] -= 1.0;
+                    let waited_s = now_s - item.admitted_at_s;
+                    self.stats.dispatched += 1;
+                    self.stats.per_tenant_dispatched[t] += 1;
+                    self.stats.queue_wait.record(waited_s);
+                    out.push(Dispatched {
+                        tenant: t,
+                        admitted_at_s: item.admitted_at_s,
+                        waited_s,
+                        payload: item.payload,
+                    });
+                }
+                if self.lanes[t].is_empty() {
+                    self.deficits[t] = 0.0;
+                }
+                if out.len() >= budget {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max_pending: usize, deadline_s: f64, weights: &[f64]) -> TrafficConfig {
+        TrafficConfig {
+            max_pending,
+            deadline_s,
+            tenant_weights: weights.to_vec(),
+        }
+    }
+
+    #[test]
+    fn cap_rejects_and_counts_without_queueing() {
+        let mut q = AdmissionQueue::new(cfg(3, 1.0, &[1.0]));
+        for k in 0..5 {
+            let r = q.offer(0, k as f64 * 0.01, k);
+            if k < 3 {
+                r.unwrap();
+            } else {
+                assert_eq!(r, Err(Rejected::Full { pending: 3 }));
+            }
+        }
+        assert_eq!(q.pending(), 3);
+        let s = q.stats();
+        assert_eq!((s.offered, s.admitted, s.rejected_full), (5, 3, 2));
+        assert_eq!(s.max_pending_seen, 3);
+        // FIFO within a lane.
+        let round = q.dispatch(0.1, 10);
+        assert_eq!(
+            round.iter().map(|d| d.payload).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn expired_requests_are_shed_before_dispatch() {
+        let mut q = AdmissionQueue::new(cfg(16, 0.2, &[1.0]));
+        q.offer(0, 0.0, "old").unwrap();
+        q.offer(0, 0.5, "fresh").unwrap();
+        let round = q.dispatch(0.6, 10);
+        assert_eq!(round.len(), 1);
+        assert_eq!(round[0].payload, "fresh");
+        assert!((round[0].waited_s - 0.1).abs() < 1e-12);
+        assert_eq!(q.stats().shed_deadline, 1);
+        assert_eq!(q.stats().dispatched, 1);
+        assert_eq!(q.stats().queue_wait.count(), 1);
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn drr_dispatch_tracks_the_weight_vector() {
+        // Tenant 0 weight 2, tenants 1/2 weight 1; all lanes deeply
+        // backlogged — dispatch shares must approach 50/25/25.
+        let mut q = AdmissionQueue::new(cfg(usize::MAX, f64::INFINITY, &[2.0, 1.0, 1.0]));
+        for k in 0..100 {
+            for t in 0..3 {
+                q.offer(t, k as f64 * 1e-3, (t, k)).unwrap();
+            }
+        }
+        let round = q.dispatch(0.2, 80);
+        assert_eq!(round.len(), 80);
+        let mut per = [0usize; 3];
+        for d in &round {
+            per[d.tenant] += 1;
+        }
+        assert_eq!(per[0], 40, "weight-2 tenant gets half: {per:?}");
+        assert_eq!(per[1], 20);
+        assert_eq!(per[2], 20);
+        // And the stats agree.
+        assert_eq!(q.stats().per_tenant_dispatched, vec![40, 20, 20]);
+    }
+
+    #[test]
+    fn no_tenant_starves_under_extreme_skew() {
+        // Tenant 0 floods; tenant 1 trickles. Equal weights: tenant 1's
+        // few requests must all dispatch in the first rounds.
+        let mut q = AdmissionQueue::new(cfg(usize::MAX, f64::INFINITY, &[1.0, 1.0]));
+        for k in 0..500 {
+            q.offer(0, k as f64 * 1e-3, ()).unwrap();
+        }
+        for k in 0..5 {
+            q.offer(1, k as f64 * 1e-3, ()).unwrap();
+        }
+        let round = q.dispatch(1.0, 20);
+        let t1 = round.iter().filter(|d| d.tenant == 1).count();
+        assert_eq!(t1, 5, "the trickle tenant drains fully in one round");
+        assert_eq!(round.len(), 20);
+    }
+
+    #[test]
+    fn fractional_weights_still_make_progress() {
+        let mut q = AdmissionQueue::new(cfg(usize::MAX, f64::INFINITY, &[0.25]));
+        for k in 0..8 {
+            q.offer(0, k as f64, ()).unwrap();
+        }
+        // Weight 0.25 needs 4 cycles per dispatch, but the sweep loops
+        // until the budget is met.
+        let round = q.dispatch(10.0, 8);
+        assert_eq!(round.len(), 8);
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn unbounded_mode_admits_everything() {
+        let mut q = AdmissionQueue::new(cfg(usize::MAX, f64::INFINITY, &[1.0]));
+        for k in 0..10_000 {
+            q.offer(0, k as f64 * 1e-4, ()).unwrap();
+        }
+        assert_eq!(q.pending(), 10_000);
+        assert_eq!(q.stats().rejected_full, 0);
+        assert_eq!(q.stats().shed_deadline, 0);
+        assert_eq!(q.stats().max_pending_seen, 10_000);
+    }
+
+    #[test]
+    fn budget_zero_is_a_noop() {
+        let mut q = AdmissionQueue::new(cfg(8, 1.0, &[1.0]));
+        q.offer(0, 0.0, ()).unwrap();
+        assert!(q.dispatch(0.1, 0).is_empty());
+        assert_eq!(q.pending(), 1);
+    }
+
+    #[test]
+    fn shed_fraction_counts_both_outcomes() {
+        let mut q = AdmissionQueue::new(cfg(2, 0.1, &[1.0]));
+        q.offer(0, 0.0, ()).unwrap();
+        q.offer(0, 0.0, ()).unwrap();
+        let _ = q.offer(0, 0.0, ()); // Full
+        q.dispatch(1.0, 10); // both expired → shed
+        let s = q.stats();
+        assert_eq!(s.rejected_full, 1);
+        assert_eq!(s.shed_deadline, 2);
+        assert_eq!(s.dispatched, 0);
+        assert!((s.shed_fraction() - 1.0).abs() < 1e-12);
+    }
+}

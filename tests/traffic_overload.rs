@@ -1,0 +1,217 @@
+//! Overload suite for the serving front end (`ingrass-traffic`): a seeded
+//! open-loop workload trace at 2× the configured service capacity drives
+//! writer churn and reader solves through the bounded admission queue, on
+//! the virtual clock.
+//!
+//! Assertions:
+//! * accepted-request p99 stays bounded under sustained overload (queue
+//!   wait is capped by the deadline; service time is modeled from
+//!   bit-deterministic PCG iteration counts);
+//! * the reject/shed counters and latency percentiles are exactly
+//!   reproducible at a fixed seed — the CI seeds job re-runs this suite
+//!   at seeds 7 and 1337 (`INGRASS_TEST_SEED`), and the traffic-overload
+//!   smoke job re-runs it at `INGRASS_THREADS=1` and `4`, where the
+//!   pinned default-seed values must not move;
+//! * deficit round-robin dispatch tracks the configured tenant weights
+//!   when every lane is backlogged;
+//! * the unbounded mode (cap and deadline off — the pre-front-end
+//!   regime) sheds nothing and its backlog grows with the horizon.
+
+use ingrass_repro::prelude::*;
+use ingrass_repro::test_seed;
+
+/// Offered arrival rate: 2× the front end's 80 req/s capacity
+/// (`drain_budget` 4 every 0.05 virtual seconds).
+const OFFERED_HZ: f64 = 160.0;
+const HORIZON_S: f64 = 2.5;
+const MAX_PENDING: usize = 32;
+const DEADLINE_S: f64 = 0.3;
+
+/// A solve-grade engine over a seeded weighted grid, plus churn batches
+/// for the trace's writer arrivals.
+fn fixture(seed: u64) -> (SnapshotEngine, Vec<Vec<UpdateOp>>) {
+    let g0 = grid_2d(16, 16, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, seed);
+    let h0 = GrassSparsifier::default()
+        .by_offtree_density(&g0, 0.30)
+        .expect("solve-grade sparsifier")
+        .graph;
+    let engine = SnapshotEngine::setup(&h0, &SetupConfig::default().with_seed(seed))
+        .expect("traffic fixture setup");
+    let churn = ChurnStream::generate(
+        &g0,
+        &ChurnConfig {
+            batches: 8,
+            ops_per_batch: 4,
+            seed,
+            ..Default::default()
+        },
+    );
+    let batches = churn
+        .batches()
+        .iter()
+        .map(|b| churn_to_update_ops(b))
+        .collect();
+    (engine, batches)
+}
+
+fn overload_trace(seed: u64, duration_s: f64) -> WorkloadTrace {
+    WorkloadTrace::generate(&WorkloadConfig {
+        duration_s,
+        arrivals: ArrivalProcess::Poisson {
+            rate_hz: OFFERED_HZ,
+        },
+        tenants: 3,
+        churn_fraction: 0.03,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn bounded_cfg() -> OpenLoopConfig {
+    OpenLoopConfig {
+        traffic: TrafficConfig {
+            max_pending: MAX_PENDING,
+            deadline_s: DEADLINE_S,
+            tenant_weights: vec![2.0, 1.0, 1.0],
+        },
+        ..Default::default()
+    }
+}
+
+fn run_bounded(seed: u64) -> TrafficReport {
+    let (mut engine, batches) = fixture(seed);
+    let trace = overload_trace(seed, HORIZON_S);
+    run_open_loop(
+        &mut engine,
+        &batches,
+        trace.events(),
+        HORIZON_S,
+        &bounded_cfg(),
+    )
+    .expect("bounded overload run")
+}
+
+#[test]
+fn bounded_overload_meets_slo_and_sheds() {
+    let report = run_bounded(test_seed());
+    assert!(report.completed > 100, "completed {}", report.completed);
+    assert_eq!(report.non_converged, 0);
+    // 2× overload: roughly half the offered load is shed, through both
+    // loss modes — the cap at admission, the deadline at dispatch.
+    let shed = report.shed_fraction();
+    assert!(shed > 0.25 && shed < 0.75, "shed fraction {shed}");
+    assert!(report.traffic.rejected_full > 0);
+    assert!(report.traffic.shed_deadline > 0);
+    // Accepted latency is bounded: queue wait ≤ deadline + one cadence,
+    // service time modeled from a converged PCG solve. The backlog an
+    // unbounded queue accumulates here would push p99 past the horizon.
+    let p99 = report.p99_s();
+    assert!(p99 > 0.0 && p99 < 1.0, "p99 {p99}");
+    assert!(report.pending_at_horizon <= MAX_PENDING);
+    // The trace's writer lane actually churned the engine mid-run.
+    assert!(report.churn_batches_applied > 0);
+}
+
+#[test]
+fn rejects_and_percentiles_are_exactly_reproducible() {
+    let seed = test_seed();
+    let a = run_bounded(seed);
+    let b = run_bounded(seed);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.traffic.rejected_full, b.traffic.rejected_full);
+    assert_eq!(a.traffic.shed_deadline, b.traffic.shed_deadline);
+    assert_eq!(
+        a.traffic.per_tenant_dispatched,
+        b.traffic.per_tenant_dispatched
+    );
+    assert_eq!(a.pending_at_horizon, b.pending_at_horizon);
+    // The full histogram — hence every percentile — is bit-identical.
+    assert_eq!(a.accepted_latency, b.accepted_latency);
+    assert_eq!(a.p99_s(), b.p99_s());
+}
+
+#[test]
+fn dispatch_shares_track_tenant_weights_under_saturation() {
+    let report = run_bounded(test_seed());
+    let shares = &report.traffic.per_tenant_dispatched;
+    assert_eq!(shares.len(), 3);
+    // Weights 2:1:1 against offered shares 50/25/25 (the hot tenant is
+    // tenant 0): every lane is offered more than its weighted capacity
+    // share, so deficit round-robin pins dispatch to the weights.
+    let t0 = shares[0] as f64;
+    let rest = (shares[1] + shares[2]) as f64 / 2.0;
+    let ratio = t0 / rest.max(1.0);
+    assert!(
+        (1.5..=2.6).contains(&ratio),
+        "weight-2 tenant dispatched {ratio:.2}x the weight-1 mean (shares {shares:?})"
+    );
+    let sibling = shares[1] as f64 / (shares[2] as f64).max(1.0);
+    assert!(
+        (0.6..=1.6).contains(&sibling),
+        "equal-weight tenants diverged (shares {shares:?})"
+    );
+}
+
+#[test]
+fn unbounded_admission_backlog_grows_with_the_horizon() {
+    let seed = test_seed();
+    let mut cfg = bounded_cfg();
+    cfg.traffic.max_pending = usize::MAX;
+    cfg.traffic.deadline_s = f64::INFINITY;
+    cfg.flush_after_horizon = false;
+
+    let backlog_at = |duration_s: f64| {
+        let (mut engine, batches) = fixture(seed);
+        let trace = overload_trace(seed, duration_s);
+        let report = run_open_loop(&mut engine, &batches, trace.events(), duration_s, &cfg)
+            .expect("unbounded overload run");
+        assert_eq!(report.traffic.rejected_full, 0);
+        assert_eq!(report.traffic.shed_deadline, 0);
+        report.pending_at_horizon
+    };
+
+    let short = backlog_at(HORIZON_S);
+    let long = backlog_at(2.0 * HORIZON_S);
+    // Offered ≈ 2× capacity: the backlog is ≈ (λ − C)·T, far above the
+    // bounded cap and roughly doubling with the horizon.
+    assert!(short > 3 * MAX_PENDING, "short-run backlog {short}");
+    assert!(
+        long as f64 > 1.5 * short as f64,
+        "backlog did not grow with the horizon ({short} → {long})"
+    );
+}
+
+/// Width-parity pin: the CI traffic-overload smoke job runs this suite at
+/// `INGRASS_THREADS=1` and `4`; both must reproduce these exact counts
+/// (recorded at seed 42, width 1). Skipped under the seeds job's other
+/// seeds — determinism there is pinned by the reproducibility test above.
+#[test]
+fn default_seed_counts_are_pinned_at_any_width() {
+    if test_seed() != 42 {
+        return;
+    }
+    let report = run_bounded(42);
+    assert_eq!(
+        (
+            report.completed,
+            report.traffic.rejected_full,
+            report.traffic.shed_deadline,
+            report.pending_at_horizon,
+            report.traffic.per_tenant_dispatched.clone(),
+        ),
+        (
+            PIN_COMPLETED,
+            PIN_REJECTED_FULL,
+            PIN_SHED_DEADLINE,
+            PIN_PENDING,
+            PIN_SHARES.to_vec()
+        ),
+        "seed-42 traffic counts moved — virtual-clock determinism broke"
+    );
+}
+
+const PIN_COMPLETED: usize = 216;
+const PIN_REJECTED_FULL: usize = 49;
+const PIN_SHED_DEADLINE: usize = 71;
+const PIN_PENDING: usize = 17;
+const PIN_SHARES: [usize; 3] = [117, 54, 45];
