@@ -93,8 +93,13 @@ use std::sync::Arc;
 /// gated set. 3 → 4: `traffic/<case>` scenarios added (bounded vs
 /// unbounded admission under 2× open-loop overload, virtual clock) and
 /// their `traffic_p99_s` / `shed_fraction` joined the gated set —
-/// compared unscaled, because they are machine-independent.
-const SCHEMA_VERSION: f64 = 4.0;
+/// compared unscaled, because they are machine-independent. 4 → 5: the
+/// sharded engine's epoch-fenced commit protocol added
+/// `shard_parallel_update_wall_s` (the coordinator's fan-out→fence span,
+/// i.e. the slowest shard per batch) to the `shard/<case>` scenarios and
+/// the gated set — on a single-CPU runner it tracks the summed per-shard
+/// wall; real shard-parallel speedup only shows on multi-core hosts.
+const SCHEMA_VERSION: f64 = 5.0;
 
 /// Times a fixed integer-arithmetic kernel (~1.6·10⁸ wrapping ops) as a
 /// machine-speed proxy. The regression gate scales baseline wall times by
@@ -869,6 +874,7 @@ fn run_shard_scenario(case: TestCase, fixture: &CaseFixture, args: &Args) -> Jso
     let publish_report = sharded.publish().expect("shard publish");
     let stats = publish_report.shard.expect("sharded publish carries stats");
     let shard_wall = stats.update.total_seconds();
+    let parallel_wall = stats.parallel_update.total_seconds();
     let mono_wall_s = mono_wall.as_secs_f64();
 
     // Inline acceptance: the imbalance bar is deterministic; the wall bar
@@ -891,6 +897,22 @@ fn run_shard_scenario(case: TestCase, fixture: &CaseFixture, args: &Args) -> Jso
             case.name(),
             shard_wall,
             mono_wall_s,
+        );
+    }
+    // The fan-out→fence span can never beat the slowest shard, so it is
+    // bounded below by (roughly) the summed wall divided by the shard
+    // count; sanity-check the relation the commit protocol promises —
+    // parallel span ≤ summed per-shard wall + fan-out overhead. A
+    // wall-clock *speedup* assertion would only hold on a multi-core
+    // runner (PR 2 precedent), so it stays out of the gate.
+    if parallel_wall > WALL_FLOOR_S {
+        assert!(
+            parallel_wall <= shard_wall + 0.5 * WALL_FLOOR_S + 0.25 * shard_wall,
+            "{}: fenced parallel span {:.4}s exceeds the summed per-shard \
+             wall {:.4}s beyond fan-out overhead",
+            case.name(),
+            parallel_wall,
+            shard_wall,
         );
     }
 
@@ -919,9 +941,10 @@ fn run_shard_scenario(case: TestCase, fixture: &CaseFixture, args: &Args) -> Jso
     let mono_iters = mono_solve.total_iterations();
 
     println!(
-        "{:<14} shard   update {:>10} vs mono {:>10} ({:.2}x)  imbalance {:.2}  boundary {} edges  pcg {:>4} vs {:>4}",
+        "{:<14} shard   update {:>10} (fence {:>10}) vs mono {:>10} ({:.2}x)  imbalance {:.2}  boundary {} edges  pcg {:>4} vs {:>4}",
         case.name(),
         fmt_secs(shard_wall),
+        fmt_secs(parallel_wall),
         fmt_secs(mono_wall_s),
         shard_wall / mono_wall_s.max(f64::MIN_POSITIVE),
         stats.imbalance_ratio,
@@ -944,6 +967,11 @@ fn run_shard_scenario(case: TestCase, fixture: &CaseFixture, args: &Args) -> Jso
         ("intra_ops", Json::Num(intra_ops as f64)),
         ("boundary_ops", Json::Num(boundary_ops as f64)),
         ("shard_update_wall_s", Json::Num(shard_wall)),
+        ("shard_parallel_update_wall_s", Json::Num(parallel_wall)),
+        (
+            "shard_parallel_speedup",
+            Json::Num(shard_wall / parallel_wall.max(f64::MIN_POSITIVE)),
+        ),
         ("mono_update_wall_s", Json::Num(mono_wall_s)),
         (
             "shard_wall_ratio_vs_mono",
@@ -1296,7 +1324,7 @@ fn regressions(current: &Json, baseline: &Json, tolerance: f64) -> Vec<String> {
     // likewise the serving keys once a baseline carries `serve/<case>`
     // scenarios (snapshot publish latency and drain throughput are the
     // serving layer's tracked metrics).
-    const GATED: [&str; 10] = [
+    const GATED: [&str; 11] = [
         "setup_wall_s",
         "update_wall_s",
         "factor_wall_s",
@@ -1306,6 +1334,7 @@ fn regressions(current: &Json, baseline: &Json, tolerance: f64) -> Vec<String> {
         "serve_solve_wall_s",
         "recover_wall_s",
         "shard_update_wall_s",
+        "shard_parallel_update_wall_s",
         "shard_publish_wall_s",
     ];
     // Virtual-clock gates from the traffic scenarios: deterministic

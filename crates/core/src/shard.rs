@@ -5,9 +5,26 @@
 //! drift tracker, ordering cache, and Cholesky factor — and routes every
 //! intra-cluster [`UpdateOp`] to its owning shard through a deterministic
 //! [`ShardRouting`] table derived from the hierarchy (rebuilt on every
-//! drift re-setup). Per-shard batches apply concurrently on the
-//! `ingrass-par` pool; cross-shard edges never enter a shard engine and
+//! drift re-setup). Cross-shard edges never enter a shard engine and
 //! live in the coordinator's [`BoundaryGraph`] instead.
+//!
+//! # Commit protocol
+//!
+//! [`ShardedEngine::apply_batch`] runs a three-step epoch-fenced commit:
+//!
+//! 1. **Partition** — the batch is validated atomically and routed into
+//!    per-shard op lists plus a coordinator-owned boundary list.
+//! 2. **Parallel apply** — every shard with routed work runs its own
+//!    [`InGrassEngine::apply_batch`] on an `ingrass-par` worker (shard
+//!    RNG streams were isolated at setup via `derive_seed`), and all
+//!    workers join at the **epoch fence**.
+//! 3. **Commit** — per-shard [`UpdateReport`]s are merged in ascending
+//!    shard-index order (a shard error propagates from the lowest index
+//!    *before* any coordinator state moves), boundary ops apply
+//!    single-threaded after the fence, and the drift decision is taken
+//!    from the *merged* post-fence state — so a triggered
+//!    [`ShardedEngine::resetup`] moves every shard across the same epoch
+//!    boundary.
 //!
 //! Publishing stitches the per-shard sparsifiers back together: the
 //! assembled graph's grounded Laplacian is solved exactly by a
@@ -130,6 +147,13 @@ pub struct ShardedBatchReport {
     /// Whether this batch's drift crossed the policy on any shard (or the
     /// boundary) and triggered a global re-setup, and why.
     pub resetup: Option<ResetupReason>,
+    /// Workers the parallel apply phase fanned out over
+    /// (`min(threads, shards)`; 1 when no shard received work).
+    pub fence_width: usize,
+    /// Wall-clock span of the parallel apply phase: fan-out to epoch
+    /// fence, i.e. the slowest shard's apply on a multi-core host. Zero
+    /// when the batch routed no intra-shard work.
+    pub parallel_wall_s: f64,
     /// Batch wall time (includes the re-setup, when one triggered).
     pub elapsed: Duration,
 }
@@ -195,6 +219,8 @@ pub struct ShardedEngine {
     boundary_deleted_weight: f64,
     per_shard_update: Vec<LatencySummary>,
     per_shard_hist: Vec<LatencyHistogram>,
+    /// One sample per batch with shard work: the fan-out→fence span.
+    parallel_update: LatencySummary,
     per_shard_ops: Vec<u64>,
 }
 
@@ -297,6 +323,7 @@ impl ShardedEngine {
             boundary_deleted_weight: 0.0,
             per_shard_update: vec![LatencySummary::new(); s],
             per_shard_hist: vec![LatencyHistogram::new(); s],
+            parallel_update: LatencySummary::new(),
             per_shard_ops: vec![0; s],
         })
     }
@@ -333,12 +360,22 @@ impl ShardedEngine {
         Ok((engines, boundary))
     }
 
-    /// Applies one update batch: validates it atomically, routes every op
-    /// to its owning shard (or the boundary), applies the boundary ops
-    /// serially and the per-shard batches concurrently, then consults the
-    /// drift policy across all shards and the boundary — a trip re-runs
-    /// the *global* setup (fresh hierarchy, fresh routing, fresh shard
-    /// engines) before this call returns.
+    /// Applies one update batch through the epoch-fenced commit protocol
+    /// (see the module docs): validates it atomically, partitions it into
+    /// per-shard op lists and a boundary list, runs every non-empty shard
+    /// batch concurrently on its own `ingrass-par` worker, joins at the
+    /// epoch fence, then commits — merging per-shard reports in ascending
+    /// shard-index order, applying the cross-shard boundary ops
+    /// single-threaded *after* the fence, and consulting the drift policy
+    /// across the merged state — a trip re-runs the *global* setup (fresh
+    /// hierarchy, fresh routing, fresh shard engines) before this call
+    /// returns, so every shard crosses the same epoch boundary.
+    ///
+    /// The outcome is bit-identical at any worker width for a fixed shard
+    /// count: shard batches are disjoint, each shard's RNG stream was
+    /// derived from its index at setup, results land by shard index at
+    /// the fence, and boundary ops touch an edge set no shard engine
+    /// carries.
     ///
     /// The published snapshot does **not** move; call
     /// [`ShardedEngine::publish`] when readers should see the new state.
@@ -347,7 +384,10 @@ impl ShardedEngine {
     /// As for [`crate::InGrassEngine::apply_batch`]: invalid config or an
     /// op referencing an unknown node, a self-loop, or a non-positive
     /// weight. The batch is validated up front, so no shard engine
-    /// mutates on invalid input.
+    /// mutates on invalid input; a shard error surfacing at the fence
+    /// (unreachable while that validation matches the engine's own)
+    /// propagates from the lowest shard index before the commit step
+    /// touches any coordinator state.
     pub fn apply_batch(
         &mut self,
         ops: &[UpdateOp],
@@ -408,63 +448,81 @@ impl ShardedEngine {
             boundary_vacuous: 0,
             shard_reports: vec![None; s],
             resetup: None,
+            fence_width: 1,
+            parallel_wall_s: 0.0,
             elapsed: Duration::ZERO,
         };
 
-        // Boundary ops first (serial, coordinator-owned); they touch a
-        // disjoint edge set from every shard batch, so the order relative
-        // to the parallel phase below cannot matter.
-        for op in &boundary_ops {
-            self.apply_boundary_op(*op, &mut report);
-        }
-
-        // Per-shard batches fan out round-robin over `width` pool jobs;
-        // each job walks its shards in ascending index order and results
-        // land by shard index, so any width yields identical state.
+        // ---- Parallel apply: per-shard batches fan out round-robin over
+        // `width` pool jobs; each job walks its shards in ascending index
+        // order and every result lands by shard index at the fence, so
+        // any width yields identical state. Shard engines never touch the
+        // boundary graph or each other, so the workers share nothing.
         let threads = self.threads();
         let width = threads.min(s).max(1);
+        report.fence_width = width;
         let mut jobs: Vec<Vec<(usize, &mut InGrassEngine, Vec<UpdateOp>)>> =
             (0..width).map(|_| Vec::new()).collect();
+        let mut shard_jobs = 0usize;
         for (sh, (eng, batch)) in self.engines.iter_mut().zip(shard_batches).enumerate() {
             if batch.is_empty() {
                 continue;
             }
             jobs[sh % width].push((sh, eng, batch));
+            shard_jobs += 1;
         }
+        let fence_timer = PhaseTimer::start();
         let mut outs: Vec<Vec<(usize, Result<UpdateReport>, f64)>> =
             (0..width).map(|_| Vec::new()).collect();
-        ingrass_par::scope_with(width, |scope| {
-            for (job, out) in jobs.into_iter().zip(outs.iter_mut()) {
-                scope.execute(move || {
-                    for (sh, eng, batch) in job {
-                        let shard_timer = PhaseTimer::start();
-                        let res = eng.apply_batch(&batch, cfg);
-                        out.push((sh, res, shard_timer.total().as_secs_f64()));
-                    }
-                });
-            }
-        });
-        let mut first_err: Option<(usize, InGrassError)> = None;
-        for (sh, res, wall) in outs.into_iter().flatten() {
-            match res {
-                Ok(rep) => {
-                    self.per_shard_update[sh].record(wall);
-                    self.per_shard_hist[sh].record(wall);
-                    self.per_shard_ops[sh] += rep.batch_size as u64;
-                    report.shard_reports[sh] = Some(rep);
+        if shard_jobs > 0 {
+            ingrass_par::scope_with(width, |scope| {
+                for (job, out) in jobs.into_iter().zip(outs.iter_mut()) {
+                    scope.execute(move || {
+                        for (sh, eng, batch) in job {
+                            let shard_timer = PhaseTimer::start();
+                            let res = eng.apply_batch(&batch, cfg);
+                            out.push((sh, res, shard_timer.total().as_secs_f64()));
+                        }
+                    });
                 }
-                // Unreachable while the up-front validation above matches
-                // the engine's own; kept as a deterministic propagation
-                // path (lowest shard index wins) rather than a panic.
-                Err(e) => {
-                    if first_err.as_ref().map_or(true, |(s0, _)| sh < *s0) {
-                        first_err = Some((sh, e));
-                    }
-                }
-            }
+            });
         }
-        if let Some((_, e)) = first_err {
-            return Err(e);
+
+        // ---- Epoch fence: every worker has joined. Merge the per-shard
+        // outcomes deterministically by ascending shard index; an error
+        // (unreachable while the up-front validation above matches the
+        // engine's own) propagates from the lowest shard index before the
+        // commit step below touches any coordinator state — the boundary
+        // graph, the op counters, and the drift ledgers stay put.
+        if shard_jobs > 0 {
+            report.parallel_wall_s = fence_timer.total().as_secs_f64();
+        }
+        let mut merged: Vec<Option<(Result<UpdateReport>, f64)>> = (0..s).map(|_| None).collect();
+        for (sh, res, wall) in outs.into_iter().flatten() {
+            merged[sh] = Some((res, wall));
+        }
+        if let Some((Err(e), _)) = merged.iter().flatten().find(|(res, _)| res.is_err()) {
+            return Err(e.clone());
+        }
+
+        // ---- Commit: record the merged reports and walls, apply the
+        // cross-shard boundary ops single-threaded (they touch an edge
+        // set no shard engine carries, so applying them after the fence
+        // leaves the final state identical to any interleaving), then
+        // take the drift decision from the merged post-fence state.
+        for (sh, slot) in merged.into_iter().enumerate() {
+            let Some((res, wall)) = slot else { continue };
+            let rep = res.expect("fence propagated every shard error");
+            self.per_shard_update[sh].record(wall);
+            self.per_shard_hist[sh].record(wall);
+            self.per_shard_ops[sh] += rep.batch_size as u64;
+            report.shard_reports[sh] = Some(rep);
+        }
+        if shard_jobs > 0 {
+            self.parallel_update.record(report.parallel_wall_s);
+        }
+        for op in &boundary_ops {
+            self.apply_boundary_op(*op, &mut report);
         }
 
         self.updates_applied += ops.len();
@@ -656,6 +714,7 @@ impl ShardedEngine {
         ShardStats::from_shards(
             &self.per_shard_update,
             &self.per_shard_hist,
+            &self.parallel_update,
             &self.per_shard_ops,
             self.boundary.len(),
             self.boundary.node_count(),
@@ -882,6 +941,7 @@ impl ShardedEngine {
             boundary_deleted_weight: state.boundary_deleted_weight,
             per_shard_update: vec![LatencySummary::new(); s],
             per_shard_hist: vec![LatencyHistogram::new(); s],
+            parallel_update: LatencySummary::new(),
             per_shard_ops: state.per_shard_ops,
         })
     }
@@ -1150,6 +1210,72 @@ mod tests {
             edge_set(a.snapshot().graph()),
             edge_set(b.snapshot().graph())
         );
+    }
+
+    #[test]
+    fn fence_reports_parallel_phase_and_skips_boundary_only_batches() {
+        let mut eng = ShardedEngine::setup(
+            &fixture(8, 1),
+            &SetupConfig::default(),
+            &ShardedConfig::default()
+                .with_shards(2)
+                .with_threads(Some(4)),
+        )
+        .unwrap();
+        let routing = eng.routing().clone();
+        let n = routing.num_nodes();
+        let mut intra = None;
+        let mut cross = None;
+        'outer: for u in 0..n {
+            for v in (u + 1)..n {
+                let same = routing.shard_of(u) == routing.shard_of(v);
+                if same && intra.is_none() {
+                    intra = Some((u, v));
+                } else if !same && cross.is_none() {
+                    cross = Some((u, v));
+                }
+                if intra.is_some() && cross.is_some() {
+                    break 'outer;
+                }
+            }
+        }
+        let (iu, iv) = intra.unwrap();
+        let (cu, cv) = cross.unwrap();
+
+        // A batch with shard work runs the parallel phase: the fence
+        // width clamps to the shard count and the span is recorded once.
+        let report = eng
+            .apply_batch(
+                &[UpdateOp::Insert {
+                    u: iu,
+                    v: iv,
+                    weight: 0.5,
+                }],
+                &UpdateConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(report.fence_width, 2, "width = min(threads, shards)");
+        assert!(report.parallel_wall_s > 0.0);
+        assert_eq!(eng.shard_stats().parallel_update.count(), 1);
+        let span = eng.shard_stats().parallel_update.total_seconds();
+        assert!(span >= report.parallel_wall_s);
+
+        // A boundary-only batch commits without a parallel phase: no
+        // fence span is recorded and the wall reads zero.
+        let report = eng
+            .apply_batch(
+                &[UpdateOp::Insert {
+                    u: cu,
+                    v: cv,
+                    weight: 0.25,
+                }],
+                &UpdateConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(report.intra_ops, 0);
+        assert_eq!(report.parallel_wall_s, 0.0);
+        assert_eq!(eng.shard_stats().parallel_update.count(), 1);
+        assert!(report.shard_reports.iter().all(Option::is_none));
     }
 
     #[test]

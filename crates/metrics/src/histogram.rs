@@ -64,7 +64,10 @@ impl Default for LatencyHistogram {
     }
 }
 
-/// Bucket index of a finite non-negative sample.
+/// Bucket index of a finite non-negative sample. The regular-bank bucket
+/// boundaries are *defined* by [`lower_bound`] (the same values
+/// [`LatencyHistogram::quantile`] interpolates between): bucket `1 + i`
+/// holds exactly the samples in `[lower_bound(i), lower_bound(i + 1))`.
 fn bucket_of(seconds: f64) -> usize {
     if seconds < MIN_S {
         return 0;
@@ -72,10 +75,19 @@ fn bucket_of(seconds: f64) -> usize {
     if seconds >= MAX_S {
         return BUCKETS - 1;
     }
-    // log10(s / MIN_S) ∈ [0, DECADES); scale to buckets and clamp against
-    // the float edge cases right at a bucket boundary.
-    let idx = ((seconds / MIN_S).log10() * PER_DECADE as f64).floor() as usize;
-    1 + idx.min(REGULAR - 1)
+    // `log10(s / MIN_S) · PER_DECADE` is only a hint: one-ulp rounding in
+    // the division or the log places a sample sitting exactly on a bucket
+    // boundary one bucket off (e.g. `lower_bound(1)` floors to 0).
+    // Correct against the exact bounds so placement and interpolation
+    // always agree.
+    let mut i = (((seconds / MIN_S).log10() * PER_DECADE as f64).floor() as usize).min(REGULAR - 1);
+    while i > 0 && seconds < lower_bound(i) {
+        i -= 1;
+    }
+    while i + 1 < REGULAR && seconds >= lower_bound(i + 1) {
+        i += 1;
+    }
+    1 + i
 }
 
 /// Lower bound (seconds) of regular bucket `i` (0-based within the
@@ -141,16 +153,30 @@ impl LatencyHistogram {
     /// The `q`-quantile (`q ∈ [0, 1]`) of the recorded samples, resolved
     /// to bucket precision: the sample of rank `⌈q·count⌉` is located in
     /// its bucket and the value is geometrically interpolated between the
-    /// bucket's bounds by the rank's position inside it. Returns 0 for an
-    /// empty histogram. Samples below 1 µs report 1 µs; samples at or
-    /// above 100 s report 100 s (the bank's edges).
+    /// bucket's bounds by the rank's position inside it. Samples below
+    /// 1 µs report 1 µs; samples at or above 100 s report 100 s (the
+    /// bank's edges).
+    ///
+    /// An empty histogram has no samples to rank, so every quantile is
+    /// **defined as 0** (never a rank-1 probe of empty buckets); use
+    /// [`LatencyHistogram::try_quantile`] to distinguish "no samples"
+    /// from a real zero-latency percentile.
     ///
     /// # Panics
     /// Panics if `q` is not within `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
+        self.try_quantile(q).unwrap_or(0.0)
+    }
+
+    /// [`LatencyHistogram::quantile`], except an empty histogram returns
+    /// `None` instead of 0.
+    ///
+    /// # Panics
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
         if self.count == 0 {
-            return 0.0;
+            return None;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
@@ -160,21 +186,21 @@ impl LatencyHistogram {
             }
             if seen + c >= rank {
                 if i == 0 {
-                    return MIN_S;
+                    return Some(MIN_S);
                 }
                 if i == BUCKETS - 1 {
-                    return MAX_S;
+                    return Some(MAX_S);
                 }
                 let lo = lower_bound(i - 1);
                 let hi = lower_bound(i);
                 // Geometric interpolation by the rank's position within
                 // the bucket (log-spaced buckets → log-space midpoints).
                 let frac = (rank - seen) as f64 / c as f64;
-                return lo * (hi / lo).powf(frac);
+                return Some(lo * (hi / lo).powf(frac));
             }
             seen += c;
         }
-        MAX_S // unreachable while count tracks the bucket sums
+        Some(MAX_S) // unreachable while count tracks the bucket sums
     }
 
     /// Median ([`quantile`](LatencyHistogram::quantile) at 0.50).
@@ -210,6 +236,59 @@ mod tests {
         assert_eq!(h.quantile(0.5), 0.0);
         assert_eq!(h.p99(), 0.0);
         assert_eq!(h.mean_seconds(), 0.0);
+        // The Option form tells "no samples" apart from a real zero.
+        assert_eq!(h.try_quantile(0.0), None);
+        assert_eq!(h.try_quantile(0.5), None);
+        assert_eq!(h.try_quantile(1.0), None);
+        let mut h = h;
+        h.record(0.5);
+        assert!(h.try_quantile(0.5).is_some());
+    }
+
+    #[test]
+    fn boundary_samples_land_in_their_own_bucket() {
+        // Every regular bucket boundary must open its bucket: bucket
+        // `1 + k` is [lower_bound(k), lower_bound(k+1)). The log10 hint
+        // alone floors lower_bound(1) = 10^(1/8) µs into bucket 1.
+        for k in 0..REGULAR {
+            let lb = lower_bound(k);
+            assert_eq!(bucket_of(lb), 1 + k, "boundary {k} ({lb:e}) misplaced");
+            // One ulp below the boundary belongs to the bucket before it.
+            let below = f64::from_bits(lb.to_bits() - 1);
+            let want = if k == 0 { 0 } else { k };
+            assert_eq!(bucket_of(below), want, "pre-boundary {k} misplaced");
+        }
+    }
+
+    #[test]
+    fn edge_samples_clamp_to_the_edge_buckets() {
+        // At or above the ceiling → overflow bucket, never out of range.
+        assert_eq!(bucket_of(MAX_S), BUCKETS - 1);
+        assert_eq!(bucket_of(f64::from_bits(MAX_S.to_bits() - 1)), REGULAR);
+        assert_eq!(bucket_of(MAX_S * 10.0), BUCKETS - 1);
+        assert_eq!(bucket_of(f64::MAX), BUCKETS - 1);
+        // Below the floor — including subnormals — → underflow bucket.
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(f64::MIN_POSITIVE), 0);
+        assert_eq!(bucket_of(f64::from_bits(1)), 0); // smallest subnormal
+        assert_eq!(bucket_of(f64::from_bits(MIN_S.to_bits() - 1)), 0);
+        assert_eq!(bucket_of(MIN_S), 1);
+    }
+
+    #[test]
+    fn placement_and_interpolation_agree_at_boundaries() {
+        // A lone boundary sample's quantile must interpolate inside the
+        // bucket that holds it: within [lower_bound(k), lower_bound(k+1)].
+        for k in [1usize, 2, 3, 17, 40] {
+            let mut h = LatencyHistogram::new();
+            let lb = lower_bound(k);
+            h.record(lb);
+            let q = h.quantile(1.0);
+            assert!(
+                q >= lb && q <= lower_bound(k + 1),
+                "k={k}: sample {lb:e} reported as {q:e}"
+            );
+        }
     }
 
     #[test]

@@ -17,6 +17,12 @@ pub struct ShardStats {
     /// All per-shard update batch latencies merged into one summary
     /// (so `total_seconds` is the *summed* per-shard update wall).
     pub update: LatencySummary,
+    /// Wall-clock span of each fenced parallel apply phase (fan-out →
+    /// epoch fence), one sample per batch that routed shard work. On a
+    /// multi-core host this tracks the *slowest* shard of each batch;
+    /// `update.total_seconds() / parallel_update.total_seconds()` is the
+    /// realized shard-parallel speedup (≈ 1 on a single-CPU runner).
+    pub parallel_update: LatencySummary,
     /// The same update latencies as a log-scale histogram, so callers can
     /// read tail percentiles (`p99`) and not just min/mean/max.
     pub update_histogram: LatencyHistogram,
@@ -41,10 +47,12 @@ impl ShardStats {
     /// by shard id and have the same length; the constructor merges the
     /// latency summaries with [`LatencySummary::merge`], the histograms
     /// with [`LatencyHistogram::merge`], and derives the imbalance ratio
-    /// from the routed-op counts.
+    /// from the routed-op counts. `parallel_update` is the coordinator's
+    /// per-batch fan-out→fence span accumulator, carried through as-is.
     pub fn from_shards(
         per_shard: &[LatencySummary],
         per_shard_hist: &[LatencyHistogram],
+        parallel_update: &LatencySummary,
         ops_per_shard: &[u64],
         boundary_edges: usize,
         boundary_nodes: usize,
@@ -71,6 +79,7 @@ impl ShardStats {
         ShardStats {
             shards,
             update,
+            parallel_update: *parallel_update,
             update_histogram,
             max_shard_ops,
             total_shard_ops,
@@ -90,6 +99,7 @@ mod tests {
         let stats = ShardStats::from_shards(
             &[LatencySummary::new(); 4],
             &[LatencyHistogram::new(); 4],
+            &LatencySummary::new(),
             &[0; 4],
             0,
             0,
@@ -98,6 +108,7 @@ mod tests {
         assert_eq!(stats.imbalance_ratio, 1.0);
         assert_eq!(stats.update.count(), 0);
         assert_eq!(stats.update_histogram.count(), 0);
+        assert_eq!(stats.parallel_update.count(), 0);
     }
 
     #[test]
@@ -106,6 +117,7 @@ mod tests {
         let stats = ShardStats::from_shards(
             &[LatencySummary::new(); 4],
             &[LatencyHistogram::new(); 4],
+            &LatencySummary::new(),
             &[30, 10, 10, 10],
             3,
             5,
@@ -129,9 +141,16 @@ mod tests {
         ha.record(0.75);
         let mut hb = LatencyHistogram::new();
         hb.record(0.5);
-        let stats = ShardStats::from_shards(&[a, b], &[ha, hb], &[2, 1], 0, 0);
+        let mut fence = LatencySummary::new();
+        fence.record(0.8);
+        fence.record(0.6);
+        let stats = ShardStats::from_shards(&[a, b], &[ha, hb], &fence, &[2, 1], 0, 0);
         assert_eq!(stats.update.count(), 3);
         assert!((stats.update.total_seconds() - 1.5).abs() < 1e-12);
+        // The fence span accumulator is carried through untouched: one
+        // sample per batch, summing to the coordinator's parallel wall.
+        assert_eq!(stats.parallel_update.count(), 2);
+        assert!((stats.parallel_update.total_seconds() - 1.4).abs() < 1e-12);
         assert!((stats.update.max_seconds() - 0.75).abs() < 1e-12);
         assert_eq!(stats.update_histogram.count(), 3);
         // 0.75 lands in the [0.75, 1.0) bucket; bucket interpolation may

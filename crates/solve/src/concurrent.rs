@@ -304,7 +304,30 @@ impl ConcurrentSolveService {
     /// projection, constant deflation, the snapshot's exact factor as the
     /// preconditioner. Non-convergence is reported per request, not as an
     /// error.
+    ///
+    /// If a solve **panics** mid-round, every taken-out group is put back
+    /// at the front of the queue before the panic resumes: no admitted
+    /// request is lost, [`ConcurrentSolveService::pending`] never
+    /// undercounts, and the next drain serves the restored requests
+    /// (still in ticket order).
     pub fn drain(&self) -> DrainReport {
+        self.drain_with(|g, ri| {
+            crate::service::solve_projected(
+                &g.laplacian,
+                &g.rhss[ri],
+                g.snapshot.preconditioner(),
+                &self.cfg.cg,
+            )
+        })
+    }
+
+    /// [`ConcurrentSolveService::drain`] with the per-request solver
+    /// factored out, so tests can exercise the restore-on-panic path with
+    /// an injected fault.
+    fn drain_with<F>(&self, solve: F) -> DrainReport
+    where
+        F: Fn(&Group, usize) -> (Vec<f64>, CgResult) + Sync,
+    {
         let groups: Vec<Group> = {
             let mut inner = self.lock();
             inner.index.clear();
@@ -329,18 +352,25 @@ impl ConcurrentSolveService {
             .collect();
         let threads = self.cfg.threads.unwrap_or_else(ingrass_par::num_threads);
         let timer = PhaseTimer::start();
-        let solved: Vec<(Vec<f64>, CgResult, f64)> =
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             ingrass_par::par_map_with(threads, &tasks, |&(gi, ri)| {
                 let g = &groups[gi];
                 let one = PhaseTimer::start();
-                let (x, result) = crate::service::solve_projected(
-                    &g.laplacian,
-                    &g.rhss[ri],
-                    g.snapshot.preconditioner(),
-                    &self.cfg.cg,
-                );
+                let (x, result) = solve(g, ri);
                 (x, result, one.total().as_secs_f64())
-            });
+            })
+        }));
+        let solved: Vec<(Vec<f64>, CgResult, f64)> = match run {
+            Ok(solved) => solved,
+            // A panicking solve served nobody: put every taken-out group
+            // back (ahead of anything submitted meanwhile) so the queue
+            // and the pending counter still account for every admitted
+            // request, then let the panic continue.
+            Err(payload) => {
+                self.restore_groups(groups);
+                std::panic::resume_unwind(payload);
+            }
+        };
         let solve_seconds = timer.total().as_secs_f64();
 
         let mut request_latency = LatencyHistogram::new();
@@ -375,6 +405,45 @@ impl ConcurrentSolveService {
             solve_seconds,
             request_latency,
         }
+    }
+
+    /// Puts groups a failed drain round took out back into the queue, in
+    /// front of anything submitted since the take (restored tickets are
+    /// older), re-coalescing any group whose key was re-created by those
+    /// newer submissions and rebuilding the key index and the pending
+    /// counter.
+    fn restore_groups(&self, restored: Vec<Group>) {
+        let restored_requests: usize = restored.iter().map(|g| g.rhss.len()).sum();
+        let mut inner = self.lock();
+        let newer = std::mem::take(&mut inner.groups);
+        inner.index.clear();
+        inner.groups = restored;
+        for g in newer {
+            let key = group_key(&g.snapshot, &g.laplacian);
+            // The index over the restored prefix is built lazily here: a
+            // linear pass over what this round took out, once per drain
+            // failure — not a hot path.
+            let slot = inner
+                .groups
+                .iter()
+                .position(|r| group_key(&r.snapshot, &r.laplacian) == key);
+            match slot {
+                Some(gi) => {
+                    let target = &mut inner.groups[gi];
+                    target.rhss.extend(g.rhss);
+                    target.tickets.extend(g.tickets);
+                }
+                None => inner.groups.push(g),
+            }
+        }
+        let index: HashMap<GroupKey, usize> = inner
+            .groups
+            .iter()
+            .enumerate()
+            .map(|(gi, g)| (group_key(&g.snapshot, &g.laplacian), gi))
+            .collect();
+        inner.index = index;
+        inner.pending += restored_requests;
     }
 }
 
@@ -519,6 +588,84 @@ mod tests {
             })
         ));
         assert_eq!(svc.pending(), 0, "rejected requests must not queue");
+    }
+
+    #[test]
+    fn panicking_drain_restores_every_request() {
+        let mut engine = SnapshotEngine::setup(&ring(16), &SetupConfig::default()).unwrap();
+        let old = engine.snapshot();
+        let old_lap = old.laplacian_arc();
+        engine
+            .apply_batch(
+                &[UpdateOp::Insert {
+                    u: 0,
+                    v: 5,
+                    weight: 1.5,
+                }],
+                &UpdateConfig::default(),
+            )
+            .unwrap();
+        let new = engine.snapshot();
+        let new_lap = new.laplacian_arc();
+
+        let svc = ConcurrentSolveService::new(SolveConfig::default());
+        svc.submit(&old, &old_lap, pair_rhs(16, 0, 8)).unwrap();
+        svc.submit(&new, &new_lap, pair_rhs(16, 2, 10)).unwrap();
+        svc.submit(&old, &old_lap, pair_rhs(16, 3, 11)).unwrap();
+        assert_eq!(svc.pending(), 3);
+
+        // A solver fault mid-round must not lose the admitted requests:
+        // pre-fix, drain had already zeroed `pending` and dropped the
+        // taken-out groups, so the three requests silently vanished.
+        let fault = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            svc.drain_with(|_, _| panic!("injected solver fault"))
+        }));
+        assert!(fault.is_err(), "the injected panic must propagate");
+        assert_eq!(svc.pending(), 3, "a failed round must restore the queue");
+        let stats = svc.stats();
+        assert_eq!((stats.served, stats.drains), (0, 0));
+
+        // Restored groups keep coalescing: a new request for a restored
+        // snapshot joins its group instead of forming a duplicate.
+        svc.submit(&old, &old_lap, pair_rhs(16, 4, 12)).unwrap();
+        assert_eq!(svc.pending(), 4);
+
+        // The next healthy drain serves everything, still in ticket order.
+        let round = svc.drain();
+        assert_eq!(round.groups, 2, "restored + merged groups, no duplicates");
+        assert_eq!(
+            round.served.iter().map(|s| s.ticket).collect::<Vec<_>>(),
+            vec![Ticket(0), Ticket(1), Ticket(2), Ticket(3)]
+        );
+        assert!(round.all_converged());
+        assert_eq!(svc.pending(), 0);
+    }
+
+    #[test]
+    fn panicking_drain_restores_ahead_of_newer_submissions() {
+        // Width 1 keeps the injected panic on the calling thread; the
+        // restore path is identical at any width because par_map_with
+        // re-panics on the caller either way.
+        let engine = SnapshotEngine::setup(&ring(16), &SetupConfig::default()).unwrap();
+        let snap = engine.snapshot();
+        let lap = snap.laplacian_arc();
+        let svc = ConcurrentSolveService::new(SolveConfig {
+            threads: Some(1),
+            ..Default::default()
+        });
+        svc.submit(&snap, &lap, pair_rhs(16, 0, 8)).unwrap();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            svc.drain_with(|_, _| panic!("boom"))
+        }));
+        // Submissions after the failure land behind the restored ticket.
+        svc.submit(&snap, &lap, pair_rhs(16, 1, 9)).unwrap();
+        assert_eq!(svc.pending(), 2);
+        let round = svc.drain();
+        assert_eq!(round.groups, 1);
+        assert_eq!(
+            round.served.iter().map(|s| s.ticket).collect::<Vec<_>>(),
+            vec![Ticket(0), Ticket(1)]
+        );
     }
 
     #[test]

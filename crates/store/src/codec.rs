@@ -865,17 +865,14 @@ mod tests {
         assert!(d.vec_f64().is_err());
     }
 
-    fn small_sharded_state() -> ShardedState {
+    fn small_sharded_state_at_width(threads: Option<usize>) -> ShardedState {
         use ingrass::{ShardedConfig, ShardedEngine, UpdateConfig};
         use ingrass_gen::{grid_2d, WeightModel};
 
         let h0 = grid_2d(8, 8, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, 11);
-        let mut eng = ShardedEngine::setup(
-            &h0,
-            &SetupConfig::default(),
-            &ShardedConfig::default().with_shards(2),
-        )
-        .unwrap();
+        let mut cfg = ShardedConfig::default().with_shards(2);
+        cfg.threads = threads;
+        let mut eng = ShardedEngine::setup(&h0, &SetupConfig::default(), &cfg).unwrap();
         eng.apply_batch(
             &[
                 UpdateOp::Insert {
@@ -896,14 +893,24 @@ mod tests {
         eng.export_state()
     }
 
+    fn small_sharded_state() -> ShardedState {
+        small_sharded_state_at_width(None)
+    }
+
     #[test]
     fn sharded_state_round_trips_bit_exactly() {
-        let state = small_sharded_state();
-        let bytes = encode_sharded(&state);
-        let decoded = decode_sharded(&bytes).unwrap();
-        assert_eq!(decoded, state);
-        // And the round trip is stable: re-encoding yields identical bytes.
-        assert_eq!(encode_sharded(&decoded), bytes);
+        // Both widths of the epoch-fenced apply path: the coordinator's
+        // export format carries no trace of how many workers committed
+        // the batch beyond the configured `threads` override itself.
+        for threads in [Some(1), Some(4)] {
+            let state = small_sharded_state_at_width(threads);
+            let bytes = encode_sharded(&state);
+            let decoded = decode_sharded(&bytes).unwrap();
+            assert_eq!(decoded, state);
+            // And the round trip is stable: re-encoding yields identical
+            // bytes.
+            assert_eq!(encode_sharded(&decoded), bytes);
+        }
     }
 
     #[test]

@@ -505,6 +505,43 @@ mod tests {
     }
 
     #[test]
+    fn drain_tick_on_the_exact_deadline_serves_under_the_virtual_clock() {
+        // The virtual clock hands its tick times straight to
+        // AdmissionQueue::dispatch, so the queue's inclusive-deadline
+        // choice must hold here too: a request admitted at 0.0 with a
+        // 0.25 s deadline is reached by the tick at exactly 0.25 (all
+        // times exactly representable) and must complete, while a
+        // request whose deadline falls strictly between ticks sheds.
+        let (mut engine, _) = setup(7);
+        let cfg = OpenLoopConfig {
+            traffic: TrafficConfig {
+                max_pending: 16,
+                deadline_s: 0.25,
+                tenant_weights: vec![1.0],
+            },
+            drain_every_s: 0.25,
+            drain_budget: 1,
+            flush_after_horizon: true,
+            ..Default::default()
+        };
+        let solve = |at_s: f64| TrafficEvent {
+            at_s,
+            kind: TrafficEventKind::Solve { tenant: 0, key: 1 },
+        };
+        // "A" admitted at 0.0: deadline exactly on the first tick (0.25)
+        // → served there (budget 1 leaves "B" queued). "B" admitted at
+        // 0.125: deadline 0.375 < second tick 0.5 → shed.
+        let events = [solve(0.0), solve(0.125)];
+        let report = run_open_loop(&mut engine, &[], &events, 0.5, &cfg).unwrap();
+        assert_eq!(report.completed, 1, "the exact-deadline request serves");
+        assert_eq!(report.traffic.shed_deadline, 1);
+        assert_eq!(report.traffic.rejected_full, 0);
+        // Its queue wait is the full deadline: admitted 0.0, served 0.25.
+        assert_eq!(report.traffic.queue_wait.count(), 1);
+        assert!((report.traffic.queue_wait.quantile(1.0) - 0.25).abs() < 0.25 * 0.4);
+    }
+
+    #[test]
     fn invalid_configs_are_rejected() {
         let (mut engine, _) = setup(3);
         let bad = OpenLoopConfig {

@@ -15,6 +15,15 @@ pub struct TrafficConfig {
     /// queued when its deadline passes is shed at dispatch time —
     /// *before* it burns any solver time. Use `f64::INFINITY` to disable
     /// shedding.
+    ///
+    /// The deadline is **inclusive**: a request reached by a dispatch at
+    /// *exactly* `admitted_at + deadline_s` is served; it sheds only
+    /// strictly later. `run_open_loop`'s virtual drain clock inherits
+    /// this fate verbatim (it passes its tick time straight to
+    /// [`AdmissionQueue::dispatch`]), so a drain tick landing on a
+    /// deadline serves the request under both clocks — pinned by tests
+    /// at both layers, because seed-pinned shed counts would silently
+    /// flip if a refactor turned the comparison into `>=`.
     pub deadline_s: f64,
     /// Weighted-fair share per tenant; a tenant with weight 2 drains
     /// twice as fast as one with weight 1 when both have backlog. The
@@ -229,7 +238,9 @@ impl<T> AdmissionQueue<T> {
 
     /// Dispatches up to `budget` requests at virtual time `now_s` in
     /// deficit-round-robin order, shedding expired requests along the way
-    /// (shed requests cost neither deficit nor budget). Returns the
+    /// (shed requests cost neither deficit nor budget). Deadlines are
+    /// inclusive — a request whose deadline equals `now_s` exactly is
+    /// still served (see [`TrafficConfig::deadline_s`]). Returns the
     /// dispatched requests in dispatch order.
     pub fn dispatch(&mut self, now_s: f64, budget: usize) -> Vec<Dispatched<T>> {
         let tenants = self.lanes.len();
@@ -257,6 +268,9 @@ impl<T> AdmissionQueue<T> {
                         break;
                     };
                     self.pending -= 1;
+                    // Strict `>`: the deadline instant itself still
+                    // serves. Seed-pinned shed counts depend on this
+                    // choice — don't flip it to `>=`.
                     if now_s > item.deadline_at_s {
                         self.stats.shed_deadline += 1;
                         continue;
@@ -333,6 +347,25 @@ mod tests {
         assert_eq!(q.stats().shed_deadline, 1);
         assert_eq!(q.stats().dispatched, 1);
         assert_eq!(q.stats().queue_wait.count(), 1);
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn exact_deadline_request_is_served_not_shed() {
+        // 0.25 and 0.0 are exactly representable, so the item's deadline
+        // is *bit-exactly* 0.25 — the boundary case, not merely near it.
+        let mut q = AdmissionQueue::new(cfg(16, 0.25, &[1.0]));
+        q.offer(0, 0.0, "boundary").unwrap();
+        let round = q.dispatch(0.25, 10);
+        assert_eq!(round.len(), 1, "deadline instant must serve, not shed");
+        assert_eq!(round[0].payload, "boundary");
+        assert_eq!(q.stats().shed_deadline, 0);
+
+        // One ulp past the deadline sheds.
+        q.offer(0, 0.0, "late").unwrap();
+        let after = f64::from_bits(0.25f64.to_bits() + 1);
+        assert!(q.dispatch(after, 10).is_empty());
+        assert_eq!(q.stats().shed_deadline, 1);
         assert_eq!(q.pending(), 0);
     }
 

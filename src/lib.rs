@@ -83,8 +83,8 @@ pub mod prelude {
     pub use crate::churn_to_update_ops;
     pub use ingrass::{
         DriftPolicy, FactorPolicy, InGrassEngine, InGrassError, IngrassError, LrdHierarchy,
-        ResistanceBackend, SetupConfig, ShardedConfig, ShardedEngine, SnapshotEngine,
-        SnapshotReader, SparsifierSnapshot, UpdateConfig, UpdateLedger, UpdateOp,
+        ResistanceBackend, SetupConfig, ShardedBatchReport, ShardedConfig, ShardedEngine,
+        SnapshotEngine, SnapshotReader, SparsifierSnapshot, UpdateConfig, UpdateLedger, UpdateOp,
     };
     pub use ingrass_baselines::{GrassConfig, GrassSparsifier, RandomSparsifier, TreeKind};
     pub use ingrass_gen::{

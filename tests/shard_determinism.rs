@@ -1,11 +1,12 @@
 //! Determinism suite for the sharded multi-writer engine: at a *fixed*
 //! shard count every result is bit-for-bit identical regardless of worker
 //! width. The suite replays one churn history at shard counts 1, 2, and 4
-//! under explicit thread overrides 1 and 4 *and* the ambient
+//! under explicit thread overrides 1, 2, and 4 *and* the ambient
 //! `INGRASS_THREADS` width (the CI shard-determinism job re-runs the
-//! whole suite under `INGRASS_THREADS=1` and `=4`), comparing published
-//! snapshot checksums at every publish and the full exported coordinator
-//! state at the end.
+//! whole suite under `INGRASS_THREADS=1`, `=2`, and `=4`), comparing
+//! published snapshot checksums at every publish, the epoch fence's
+//! merged per-batch reports (the parallel apply path's commit outcome),
+//! and the full exported coordinator state at the end.
 //!
 //! Different shard counts legitimately produce different sparsifiers
 //! (different partitions, different per-shard RNG streams) — the contract
@@ -34,6 +35,61 @@ fn fingerprint(snap: &SparsifierSnapshot) -> Fingerprint {
     (snap.epoch(), snap.version(), snap.sequence(), edges)
 }
 
+/// One batch's commit outcome at the epoch fence, with the
+/// width-dependent measurement fields (`fence_width`, `parallel_wall_s`,
+/// `elapsed`, per-shard report timings) stripped: routing counts, every
+/// boundary outcome, the re-setup decision, and each shard's merged
+/// report down to the exact bit pattern of its drift/distortion floats.
+/// Two widths that merge differently at the fence cannot produce equal
+/// `ReportPrint`s.
+type ReportPrint = (
+    (usize, usize, usize),
+    [usize; 5],
+    Option<String>,
+    Vec<Option<([usize; 9], [u64; 3], Option<String>)>>,
+);
+
+fn report_print(report: &ShardedBatchReport) -> ReportPrint {
+    (
+        (report.batch_size, report.intra_ops, report.boundary_ops),
+        [
+            report.boundary_inserted,
+            report.boundary_deleted,
+            report.boundary_reweighted,
+            report.boundary_relinked,
+            report.boundary_vacuous,
+        ],
+        report.resetup.as_ref().map(|r| format!("{r:?}")),
+        report
+            .shard_reports
+            .iter()
+            .map(|r| {
+                r.as_ref().map(|r| {
+                    (
+                        [
+                            r.batch_size,
+                            r.included,
+                            r.merged,
+                            r.redistributed,
+                            r.deleted,
+                            r.relinked,
+                            r.reweighted,
+                            r.vacuous,
+                            r.filtering_level,
+                        ],
+                        [
+                            r.max_distortion.to_bits(),
+                            r.drift_deleted_weight_fraction.to_bits(),
+                            r.drift_distortion_fraction.to_bits(),
+                        ],
+                        r.resetup.as_ref().map(|why| format!("{why:?}")),
+                    )
+                })
+            })
+            .collect(),
+    )
+}
+
 /// Blanks the measurement and configuration fields of an exported state
 /// that legitimately vary run-to-run — the thread override (configuration,
 /// not a result) and the setup-phase wall-clock timings each shard engine
@@ -59,7 +115,11 @@ fn normalized(
 fn replay(
     shards: usize,
     threads: Option<usize>,
-) -> (Vec<Fingerprint>, ingrass_repro::core::state::ShardedState) {
+) -> (
+    Vec<Fingerprint>,
+    Vec<ReportPrint>,
+    ingrass_repro::core::state::ShardedState,
+) {
     let seed = test_seed();
     let g0 = grid_2d(14, 14, WeightModel::Uniform { lo: 0.5, hi: 2.0 }, seed);
     let h0 = GrassSparsifier::default()
@@ -83,8 +143,15 @@ fn replay(
     );
     let ucfg = UpdateConfig::default();
     let mut prints = vec![fingerprint(&eng.snapshot())];
+    let mut reports = Vec::with_capacity(BATCHES);
     for (i, batch) in churn.batches().iter().enumerate() {
-        eng.apply_batch(&churn_to_update_ops(batch), &ucfg).unwrap();
+        let report = eng.apply_batch(&churn_to_update_ops(batch), &ucfg).unwrap();
+        assert!(
+            report.fence_width >= 1 && report.fence_width <= shards,
+            "fence width {} outside 1..={shards}",
+            report.fence_width
+        );
+        reports.push(report_print(&report));
         if i == BATCHES / 2 {
             eng.resetup().unwrap();
         }
@@ -93,20 +160,25 @@ fn replay(
         assert!(snap.verify_checksum(), "torn snapshot at batch {i}");
         prints.push(fingerprint(&snap));
     }
-    (prints, eng.export_state())
+    (prints, reports, eng.export_state())
 }
 
 #[test]
 fn fixed_shard_count_is_bit_identical_at_any_worker_width() {
     for shards in [1usize, 2, 4] {
-        let (base_prints, base_state) = replay(shards, Some(1));
+        let (base_prints, base_reports, base_state) = replay(shards, Some(1));
         assert_eq!(base_prints.len(), BATCHES + 1);
+        assert_eq!(base_reports.len(), BATCHES);
         let base_state = normalized(base_state);
-        for threads in [Some(4), None] {
-            let (prints, state) = replay(shards, threads);
+        for threads in [Some(2), Some(4), None] {
+            let (prints, reports, state) = replay(shards, threads);
             assert_eq!(
                 base_prints, prints,
                 "snapshot contents diverged at shards={shards} threads={threads:?}"
+            );
+            assert_eq!(
+                base_reports, reports,
+                "fence-merged batch reports diverged at shards={shards} threads={threads:?}"
             );
             assert_eq!(
                 base_state,
@@ -123,8 +195,8 @@ fn distinct_shard_counts_still_serve_the_same_graph_class() {
     // describe the same number of nodes and stay internally consistent —
     // this pins that the fixed-S contract above isn't passing vacuously
     // (e.g. all publishes collapsing to one degenerate state).
-    let (prints1, st1) = replay(1, Some(2));
-    let (prints4, st4) = replay(4, Some(2));
+    let (prints1, _, st1) = replay(1, Some(2));
+    let (prints4, _, st4) = replay(4, Some(2));
     assert_eq!(st1.shard_count, 1);
     assert_eq!(st4.shard_count, 4);
     assert_eq!(st1.shard_of.len(), st4.shard_of.len());
